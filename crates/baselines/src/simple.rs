@@ -1,0 +1,117 @@
+//! The two trivial baselines: Random and Nearest (§V-A.2).
+
+use poshgnn::recommender::{mask_from_indices, top_k_indices, AfterRecommender};
+use poshgnn::TargetContext;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Randomly selects `k` surrounding users at each time step.
+pub struct RandomRecommender {
+    k: usize,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RandomRecommender {
+    /// A random recommender selecting `k` users per step.
+    pub fn new(k: usize, seed: u64) -> Self {
+        RandomRecommender { k, seed, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl AfterRecommender for RandomRecommender {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn begin_episode(&mut self, _ctx: &TargetContext) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
+        let mut candidates: Vec<usize> = (0..ctx.n).filter(|&w| w != ctx.target).collect();
+        candidates.shuffle(&mut self.rng);
+        candidates.truncate(self.k);
+        mask_from_indices(ctx.n, &candidates)
+    }
+}
+
+/// Recommends the `k` nearest users at each time step.
+pub struct NearestRecommender {
+    k: usize,
+}
+
+impl NearestRecommender {
+    /// A nearest-neighbor recommender with top-`k` selection.
+    pub fn new(k: usize) -> Self {
+        NearestRecommender { k }
+    }
+}
+
+impl AfterRecommender for NearestRecommender {
+    fn name(&self) -> String {
+        "Nearest".to_string()
+    }
+
+    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+
+    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
+        // negate distances so top-k picks the nearest
+        let scores: Vec<f64> = ctx.distances[t].iter().map(|&d| -d).collect();
+        let idx = top_k_indices(&scores, ctx.target, self.k);
+        mask_from_indices(ctx.n, &idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_context;
+
+    #[test]
+    fn random_selects_exactly_k() {
+        let ctx = tiny_context(10, 5, 1);
+        let mut r = RandomRecommender::new(4, 7);
+        let recs = r.run_episode(&ctx);
+        for rec in &recs {
+            assert_eq!(rec.iter().filter(|&&b| b).count(), 4);
+            assert!(!rec[ctx.target]);
+        }
+    }
+
+    #[test]
+    fn random_is_reproducible_per_episode() {
+        let ctx = tiny_context(10, 5, 2);
+        let mut r = RandomRecommender::new(3, 9);
+        let a = r.run_episode(&ctx);
+        let b = r.run_episode(&ctx);
+        assert_eq!(a, b, "begin_episode must reset the RNG");
+    }
+
+    #[test]
+    fn nearest_selects_closest_users() {
+        let ctx = tiny_context(10, 5, 3);
+        let mut r = NearestRecommender::new(3);
+        r.begin_episode(&ctx);
+        let rec = r.recommend_step(&ctx, 0);
+        let selected: Vec<usize> = (0..ctx.n).filter(|&w| rec[w]).collect();
+        assert_eq!(selected.len(), 3);
+        // every selected user is nearer than every unselected non-target user
+        let max_sel = selected.iter().map(|&w| ctx.distances[0][w]).fold(0.0, f64::max);
+        for w in 0..ctx.n {
+            if w != ctx.target && !rec[w] {
+                assert!(ctx.distances[0][w] >= max_sel - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_tracks_motion_over_time() {
+        let ctx = tiny_context(12, 20, 4);
+        let mut r = NearestRecommender::new(3);
+        let recs = r.run_episode(&ctx);
+        // moving crowd should change the nearest set at least once
+        assert!(recs.windows(2).any(|w| w[0] != w[1]), "nearest set never changed");
+    }
+}

@@ -1,0 +1,23 @@
+//! Shared fixtures for baseline tests.
+
+use poshgnn::TargetContext;
+use xr_datasets::{Dataset, DatasetKind, Scenario, ScenarioConfig};
+
+/// A small Hubs-like scenario for fast tests.
+pub fn tiny_scenario(n: usize, t: usize, seed: u64) -> Scenario {
+    let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+    let cfg = ScenarioConfig {
+        n_participants: n,
+        vr_fraction: 0.5,
+        time_steps: t,
+        room_side: 6.0,
+        body_radius: 0.15,
+        seed,
+    };
+    dataset.sample_scenario(&cfg)
+}
+
+/// A [`TargetContext`] over [`tiny_scenario`] with target 0 and β = 0.5.
+pub fn tiny_context(n: usize, t: usize, seed: u64) -> TargetContext {
+    TargetContext::new(&tiny_scenario(n, t, seed), 0, 0.5)
+}

@@ -1,0 +1,37 @@
+//! ORCA crowd-simulation step cost vs. crowd size — the trajectory
+//! substrate that replaces the RVO2 library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xr_crowd::{Agent, CrowdSimulator, Room, SimConfig};
+use xr_graph::geom::Point2;
+
+fn simulator(n: usize) -> CrowdSimulator {
+    let mut rng = StdRng::seed_from_u64(7);
+    let room = Room::new(10.0, 10.0);
+    let agents = (0..n)
+        .map(|_| {
+            let p = Point2::new(rng.gen_range(0.5..9.5), rng.gen_range(0.5..9.5));
+            let g = Point2::new(rng.gen_range(0.5..9.5), rng.gen_range(0.5..9.5));
+            let mut a = Agent::new(p, g);
+            a.radius = 0.15;
+            a
+        })
+        .collect();
+    CrowdSimulator::new(agents, room, SimConfig::default())
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowd_step");
+    for n in [50usize, 100, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = simulator(n);
+            b.iter(|| sim.step())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Autodiff-engine and GNN-layer costs: forward-only vs forward+backward,
+//! and the occlusion-graph conversion cost — the substrate budget behind
+//! POSHGNN's ~real-time per-step latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr_gnn::{Activation, GcnLayer};
+use xr_graph::geom::Point2;
+use xr_graph::OcclusionConverter;
+use xr_tensor::{init, Matrix, ParamStore, Tape};
+
+fn bench_gcn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gcn_layer");
+    for n in [50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let layer = GcnLayer::new(&mut store, "g", 8, 8, Activation::Relu, &mut rng);
+        let x = init::randn(n, 8, 1.0, &mut rng);
+        let a = Matrix::from_fn(n, n, |i, j| if (i + j) % 7 == 0 && i != j { 1.0 } else { 0.0 });
+
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let av = tape.constant(a.clone());
+                layer.forward(&tape, &store, xv, av).value()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forward+backward", n), &n, |b, _| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let xv = tape.constant(x.clone());
+                let av = tape.constant(a.clone());
+                let loss = layer.forward(&tape, &store, xv, av).sum();
+                loss.backward(&mut store);
+                store.zero_grads();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_occlusion_converter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occlusion_graph");
+    for n in [50usize, 200, 500] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let positions: Vec<Point2> = (0..n)
+            .map(|_| {
+                Point2::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..10.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..10.0),
+                )
+            })
+            .collect();
+        let conv = OcclusionConverter::new(0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| conv.static_graph(0, &positions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcn, bench_occlusion_converter);
+criterion_main!(benches);

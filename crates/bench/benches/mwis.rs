@@ -1,0 +1,49 @@
+//! MWIS solver cost on unit-disk geometric intersection graphs — the
+//! combinatorial heart of the NP-hardness result. Exact branch-and-bound
+//! cost grows explosively with instance size; the greedy approximation and
+//! its local-search refinement stay polynomial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr_graph::{local_search_improve, mwis_exact, mwis_greedy, DiskGig};
+
+fn instance(n: usize) -> (DiskGig, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let side = (n as f64).sqrt() * 1.6;
+    let gig = DiskGig::random_unit_disks(n, side, 1.0, &mut rng);
+    let weights = (0..n).map(|i| 1.0 + (i % 7) as f64 / 7.0).collect();
+    (gig, weights)
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis_exact");
+    group.sample_size(10);
+    for n in [16usize, 24, 32] {
+        let (gig, w) = instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mwis_exact(&gig.graph, &w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis_greedy_ls");
+    for n in [16usize, 64, 256] {
+        let (gig, w) = instance(n);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| mwis_greedy(&gig.graph, &w))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy+ls", n), &n, |b, _| {
+            b.iter(|| {
+                let g = mwis_greedy(&gig.graph, &w);
+                local_search_improve(&gig.graph, &w, &g)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_greedy);
+criterion_main!(benches);

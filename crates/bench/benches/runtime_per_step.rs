@@ -1,0 +1,76 @@
+//! Per-step recommendation latency for every method — regenerates the
+//! "Running Time (ms)" rows of Tables II–IV. The shape to verify: Random /
+//! Nearest are microseconds, the learned GNNs are ~real-time, and COMURNet
+//! is orders of magnitude above everything (its per-step RL rollouts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use poshgnn::recommender::AfterRecommender;
+use poshgnn::{PoshGnn, PoshGnnConfig, TargetContext};
+use xr_baselines::{
+    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
+    NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
+};
+use xr_datasets::{Dataset, DatasetKind, Scenario, ScenarioConfig};
+
+fn scene(n: usize) -> (Scenario, TargetContext) {
+    let dataset = Dataset::generate(DatasetKind::Timik, 1);
+    let cfg = ScenarioConfig { n_participants: n, time_steps: 20, seed: 5, ..Default::default() };
+    let scenario = dataset.sample_scenario(&cfg);
+    let ctx = TargetContext::new(&scenario, 0, 0.5);
+    (scenario, ctx)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let (scenario, ctx) = scene(100);
+    let mut group = c.benchmark_group("recommend_step_n100");
+
+    let mut posh = PoshGnn::new(PoshGnnConfig::default());
+    posh.begin_episode(&ctx);
+    group.bench_function("POSHGNN", |b| b.iter(|| posh.recommend_step(&ctx, 10)));
+
+    let mut random = RandomRecommender::new(10, 1);
+    group.bench_function("Random", |b| b.iter(|| random.recommend_step(&ctx, 10)));
+
+    let mut nearest = NearestRecommender::new(10);
+    group.bench_function("Nearest", |b| b.iter(|| nearest.recommend_step(&ctx, 10)));
+
+    let mut mvagc = MvAgcRecommender::fit(&scenario, 10, 2, 3);
+    group.bench_function("MvAGC", |b| b.iter(|| mvagc.recommend_step(&ctx, 10)));
+
+    let mut grafrank = GraFrankRecommender::fit(
+        &scenario,
+        GraFrankConfig { iterations: 30, ..Default::default() },
+    );
+    group.bench_function("GraFrank", |b| b.iter(|| grafrank.recommend_step(&ctx, 10)));
+
+    let mut dcrnn = RnnRecommender::new(RnnKind::Dcrnn, RnnConfig::default());
+    dcrnn.begin_episode(&ctx);
+    group.bench_function("DCRNN", |b| b.iter(|| dcrnn.recommend_step(&ctx, 10)));
+
+    let mut tgcn = RnnRecommender::new(RnnKind::Tgcn, RnnConfig::default());
+    tgcn.begin_episode(&ctx);
+    group.bench_function("TGCN", |b| b.iter(|| tgcn.recommend_step(&ctx, 10)));
+
+    group.sample_size(10);
+    let mut comur = ComurNetRecommender::new(ComurNetConfig::default());
+    comur.begin_episode(&ctx);
+    group.bench_function("COMURNet", |b| b.iter(|| comur.recommend_step(&ctx, 10)));
+
+    group.finish();
+}
+
+fn bench_poshgnn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poshgnn_step_vs_n");
+    for n in [50usize, 100, 200] {
+        let (_, ctx) = scene(n);
+        let mut posh = PoshGnn::new(PoshGnnConfig::default());
+        posh.begin_episode(&ctx);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| posh.recommend_step(&ctx, 10))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_poshgnn_scaling);
+criterion_main!(benches);

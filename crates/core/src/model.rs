@@ -1,0 +1,416 @@
+//! POSHGNN — the paper's deep temporal graph learning framework (§IV).
+//!
+//! Three submodules cooperate:
+//!
+//! * **MIA** ([`crate::mia`]) preprocesses the scene into an attributed
+//!   occlusion graph (no trainable parameters).
+//! * **PDR** — a light 2-layer GCN (`4 → 8 → 1`, hidden dim 8 as in §V-A.5)
+//!   producing the prototype recommendation `r̃_t` and hidden state `h_t`.
+//! * **LWP** — a 3-layer GCN over `[x̂_t ‖ Δ_t ‖ h_{t−1} ‖ r_{t−1}]`
+//!   producing the preservation vector `σ`; the gate
+//!   `r_t = m_t ⊗ [(1−σ)⊗r̃_t + σ⊗r_{t−1}]` balances continuity against
+//!   de-occlusion.
+//!
+//! Training backpropagates the POSHGNN loss through the whole episode (the
+//! recurrent gate links consecutive steps), with Adam at `lr = 1e-2`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr_gnn::{Activation, GcnLayer};
+use xr_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape, Var};
+
+use crate::loss::{poshgnn_loss, LossParams};
+use crate::mia::{Mia, MiaOutput};
+use crate::problem::TargetContext;
+use crate::recommender::{threshold_decision, AfterRecommender};
+
+/// Ablation variants of POSHGNN (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoshVariant {
+    /// MIA + PDR + LWP (the full model).
+    Full,
+    /// MIA + PDR, no LWP gate: `r_t = m_t ⊗ r̃_t`.
+    PdrWithMia,
+    /// PDR alone on raw features: no normalization, no mask, no gate.
+    PdrOnly,
+}
+
+impl PoshVariant {
+    /// Display name used in the ablation table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PoshVariant::Full => "Full",
+            PoshVariant::PdrWithMia => "PDR w/ MIA",
+            PoshVariant::PdrOnly => "Only PDR",
+        }
+    }
+}
+
+/// POSHGNN hyperparameters (§V-A.5 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct PoshGnnConfig {
+    /// Hidden dimension of both GNNs (paper: 8).
+    pub hidden: usize,
+    /// Loss hyperparameters `α`, `β`.
+    pub loss: LossParams,
+    /// Adam learning rate (paper: 1e-2).
+    pub learning_rate: f64,
+    /// Gradient-norm clip during BPTT.
+    pub grad_clip: f64,
+    /// Probability threshold converting `r_t` into a display decision.
+    pub threshold: f64,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+    /// Which ablation variant to instantiate.
+    pub variant: PoshVariant,
+    /// Use the paper's literal symmetric edge-count occlusion penalty
+    /// (`α·rᵀA_t r`) instead of the depth-weighted blocking refinement
+    /// (`α·rᵀB_t r`). Kept for the loss-design ablation experiment.
+    pub symmetric_penalty: bool,
+}
+
+impl Default for PoshGnnConfig {
+    fn default() -> Self {
+        PoshGnnConfig {
+            hidden: 8,
+            loss: LossParams::default(),
+            learning_rate: 1e-2,
+            grad_clip: 5.0,
+            threshold: 0.5,
+            seed: 42,
+            variant: PoshVariant::Full,
+            symmetric_penalty: false,
+        }
+    }
+}
+
+/// Scene-feature width produced by MIA (p̂, ŝ, distance, interface).
+const FEATURE_DIM: usize = 4;
+/// Width of `Δ_t`.
+const DELTA_DIM: usize = 3;
+
+/// The POSHGNN model.
+pub struct PoshGnn {
+    config: PoshGnnConfig,
+    store: ParamStore,
+    optimizer: Adam,
+    mia: Mia,
+    pdr1: GcnLayer,
+    pdr2: GcnLayer,
+    lwp1: GcnLayer,
+    lwp2: GcnLayer,
+    lwp3: GcnLayer,
+    /// Inference state: (`h_{t-1}`, `r_{t-1}`).
+    episode_state: Option<(Matrix, Matrix)>,
+}
+
+impl PoshGnn {
+    /// Builds a fresh (untrained) POSHGNN.
+    pub fn new(config: PoshGnnConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let h = config.hidden;
+        let pdr1 = GcnLayer::new(&mut store, "pdr.0", FEATURE_DIM, h, Activation::Relu, &mut rng);
+        let pdr2 = GcnLayer::new(&mut store, "pdr.1", h, 1, Activation::Sigmoid, &mut rng);
+        let lwp_in = FEATURE_DIM + DELTA_DIM + h + 1;
+        let lwp1 = GcnLayer::new(&mut store, "lwp.0", lwp_in, h, Activation::Relu, &mut rng);
+        let lwp2 = GcnLayer::new(&mut store, "lwp.1", h, h, Activation::Relu, &mut rng);
+        let lwp3 = GcnLayer::new(&mut store, "lwp.2", h, 1, Activation::Sigmoid, &mut rng);
+        // Default-off inductive bias: with σ(-2) ≈ 0.12, an untrained model
+        // recommends (and preserves) almost nothing; training must push
+        // users above threshold on positive evidence. This is what makes the
+        // thresholded output selective instead of saturated in dense rooms.
+        pdr2.set_bias(&mut store, -2.0);
+        lwp3.set_bias(&mut store, -2.0);
+        let optimizer = Adam::with_lr(config.learning_rate);
+        PoshGnn {
+            config,
+            store,
+            optimizer,
+            mia: Mia,
+            pdr1,
+            pdr2,
+            lwp1,
+            lwp2,
+            lwp3,
+            episode_state: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PoshGnnConfig {
+        &self.config
+    }
+
+    /// Number of scalar trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// One forward step on `tape`. Returns `(r_t, h_t)`. `adj` must be the
+    /// tape constant holding `mia_out.adjacency` (shared with the loss so the
+    /// N×N matrix is materialized once per step).
+    #[allow(clippy::too_many_arguments)] // internal: one arg per module input
+    fn step_on_tape<'t>(
+        &self,
+        tape: &'t Tape,
+        ctx: &TargetContext,
+        t: usize,
+        mia_out: &MiaOutput,
+        adj: Var<'t>,
+        h_prev: Var<'t>,
+        r_prev: Var<'t>,
+    ) -> (Var<'t>, Var<'t>) {
+        let variant = self.config.variant;
+        let features = if variant == PoshVariant::PdrOnly {
+            tape.constant(self.mia.raw_features(ctx, t))
+        } else {
+            tape.constant(mia_out.features.clone())
+        };
+        // mean-aggregation operator for the GNN layers (`adj` — the raw
+        // adjacency — is reserved for the loss's occlusion penalty)
+        let _ = adj;
+        let agg = tape.constant(mia_out.adjacency_norm.clone());
+
+        // PDR: h_t then r̃_t (Eq. 1 stack).
+        let h_t = self.pdr1.forward(tape, &self.store, features, agg);
+        let r_tilde = self.pdr2.forward(tape, &self.store, h_t, agg);
+
+        let mask = tape.constant(mia_out.mask.clone());
+        let r_t = match variant {
+            PoshVariant::PdrOnly => r_tilde,
+            PoshVariant::PdrWithMia => mask * r_tilde,
+            PoshVariant::Full => {
+                let delta = tape.constant(mia_out.delta.clone());
+                let lwp_in = tape.concat_cols(&[features, delta, h_prev, r_prev]);
+                let z1 = self.lwp1.forward(tape, &self.store, lwp_in, agg);
+                let z2 = self.lwp2.forward(tape, &self.store, z1, agg);
+                let sigma = self.lwp3.forward(tape, &self.store, z2, agg);
+                // preservation gate
+                mask * (sigma.one_minus() * r_tilde + sigma * r_prev)
+            }
+        };
+        (r_t, h_t)
+    }
+
+    /// Trains on the given target contexts for `epochs` passes, returning
+    /// the mean per-step loss after each epoch. One BPTT tape spans each
+    /// episode, so gradients flow through the preservation gate across time.
+    pub fn train(&mut self, contexts: &[TargetContext], epochs: usize) -> Vec<f64> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0;
+            let mut steps = 0usize;
+            for ctx in contexts {
+                let tape = Tape::new();
+                let n = ctx.n;
+                let mut h_prev = tape.constant(Matrix::zeros(n, self.config.hidden));
+                let mut r_prev = tape.constant(Matrix::zeros(n, 1));
+                let mut total: Option<Var<'_>> = None;
+                for t in 0..=ctx.t_max() {
+                    let mia_out = self.mia.compute(ctx, t);
+                    let adj = tape.constant(mia_out.adjacency.clone());
+                    let penalty = if self.config.symmetric_penalty {
+                        adj
+                    } else {
+                        tape.constant(mia_out.blocking.clone())
+                    };
+                    let (r_t, h_t) = self.step_on_tape(&tape, ctx, t, &mia_out, adj, h_prev, r_prev);
+                    let l = poshgnn_loss(
+                        &tape,
+                        r_t,
+                        r_prev,
+                        &mia_out.p_hat,
+                        &mia_out.s_hat,
+                        penalty,
+                        self.config.loss,
+                    );
+                    total = Some(match total {
+                        Some(acc) => acc + l,
+                        None => l,
+                    });
+                    h_prev = h_t;
+                    r_prev = r_t;
+                }
+                let t_steps = (ctx.t_max() + 1) as f64;
+                let loss = total.expect("episode has at least one step").scale(1.0 / t_steps);
+                epoch_loss += loss.scalar();
+                steps += 1;
+                loss.backward(&mut self.store);
+                self.store.clip_grad_norm(self.config.grad_clip);
+                self.optimizer.step(&mut self.store);
+            }
+            history.push(epoch_loss / steps.max(1) as f64);
+        }
+        history
+    }
+
+    /// The soft recommendation `r_t` for one step during inference,
+    /// advancing the episode state.
+    pub fn soft_recommend(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
+        let (h_prev_m, r_prev_m) = self
+            .episode_state
+            .take()
+            .unwrap_or_else(|| (Matrix::zeros(ctx.n, self.config.hidden), Matrix::zeros(ctx.n, 1)));
+        let tape = Tape::new();
+        let h_prev = tape.constant(h_prev_m);
+        let r_prev = tape.constant(r_prev_m);
+        let mia_out = self.mia.compute(ctx, t);
+        let adj = tape.constant(mia_out.adjacency.clone());
+        let (r_t, h_t) = self.step_on_tape(&tape, ctx, t, &mia_out, adj, h_prev, r_prev);
+        let r = r_t.value();
+        self.episode_state = Some((h_t.value(), r.clone()));
+        r.into_vec()
+    }
+
+    /// Parameter snapshot for checkpointing.
+    pub fn export_params(&self) -> Vec<f64> {
+        self.store.export_flat()
+    }
+
+    /// Restores a snapshot from [`PoshGnn::export_params`].
+    pub fn import_params(&mut self, flat: &[f64]) -> bool {
+        self.store.import_flat(flat)
+    }
+}
+
+impl AfterRecommender for PoshGnn {
+    fn name(&self) -> String {
+        match self.config.variant {
+            PoshVariant::Full => "POSHGNN".to_string(),
+            v => format!("POSHGNN ({})", v.name()),
+        }
+    }
+
+    fn begin_episode(&mut self, _ctx: &TargetContext) {
+        self.episode_state = None;
+    }
+
+    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
+        let soft = self.soft_recommend(ctx, t);
+        threshold_decision(&soft, ctx.target, self.config.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate_sequence;
+    use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+
+    fn small_ctx(seed: u64) -> TargetContext {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cfg = ScenarioConfig {
+            n_participants: 12,
+            vr_fraction: 0.5,
+            time_steps: 8,
+            room_side: 6.0,
+            body_radius: 0.15,
+            seed,
+        };
+        let scenario = dataset.sample_scenario(&cfg);
+        TargetContext::new(&scenario, 0, 0.5)
+    }
+
+    #[test]
+    fn model_builds_with_expected_parameter_count() {
+        let model = PoshGnn::new(PoshGnnConfig::default());
+        // Each GcnLayer holds w_self (in×out), w_neigh (in×out), bias (out).
+        // PDR: (4·8 + 4·8 + 8) + (8·1 + 8·1 + 1)
+        // LWP: (16·8 + 16·8 + 8) + (8·8 + 8·8 + 8) + (8·1 + 8·1 + 1)
+        let pdr = (4 * 8 + 4 * 8 + 8) + (8 + 8 + 1);
+        let lwp = (16 * 8 + 16 * 8 + 8) + (8 * 8 + 8 * 8 + 8) + (8 + 8 + 1);
+        assert_eq!(model.parameter_count(), pdr + lwp);
+    }
+
+    #[test]
+    fn untrained_model_emits_valid_probabilities() {
+        let ctx = small_ctx(3);
+        let mut model = PoshGnn::new(PoshGnnConfig::default());
+        model.begin_episode(&ctx);
+        let soft = model.soft_recommend(&ctx, 0);
+        assert_eq!(soft.len(), ctx.n);
+        assert!(soft.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ctx = small_ctx(4);
+        let mut model = PoshGnn::new(PoshGnnConfig::default());
+        let history = model.train(std::slice::from_ref(&ctx), 25);
+        let first = history[0];
+        let last = *history.last().unwrap();
+        assert!(last < first, "loss did not improve: {first} → {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_utility() {
+        let train_ctx = small_ctx(5);
+        let eval_ctx = small_ctx(6);
+
+        let mut untrained = PoshGnn::new(PoshGnnConfig::default());
+        let recs_untrained = untrained.run_episode(&eval_ctx);
+        let before = evaluate_sequence(&eval_ctx, &recs_untrained);
+
+        let mut model = PoshGnn::new(PoshGnnConfig::default());
+        model.train(std::slice::from_ref(&train_ctx), 40);
+        let recs = model.run_episode(&eval_ctx);
+        let after = evaluate_sequence(&eval_ctx, &recs);
+
+        assert!(
+            after.after_utility >= before.after_utility,
+            "training hurt utility: {} → {}",
+            before.after_utility,
+            after.after_utility
+        );
+    }
+
+    #[test]
+    fn episode_state_resets() {
+        let ctx = small_ctx(7);
+        let mut model = PoshGnn::new(PoshGnnConfig::default());
+        let a = model.run_episode(&ctx);
+        let b = model.run_episode(&ctx);
+        assert_eq!(a, b, "episodes must be independent and deterministic");
+    }
+
+    #[test]
+    fn variants_have_distinct_names_and_run() {
+        for variant in [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly] {
+            let ctx = small_ctx(8);
+            let mut model = PoshGnn::new(PoshGnnConfig { variant, ..Default::default() });
+            let recs = model.run_episode(&ctx);
+            assert_eq!(recs.len(), ctx.t_max() + 1);
+            assert!(model.name().contains("POSHGNN"));
+        }
+    }
+
+    #[test]
+    fn pdr_only_ignores_candidate_mask() {
+        // With the Full variant, masked-out users can never be recommended.
+        let ctx = small_ctx(9);
+        let mut full = PoshGnn::new(PoshGnnConfig::default());
+        full.begin_episode(&ctx);
+        let soft = full.soft_recommend(&ctx, 0);
+        for w in 0..ctx.n {
+            if !ctx.candidate_mask[0][w] {
+                assert_eq!(soft[w], 0.0, "masked candidate leaked through");
+            }
+        }
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_behavior() {
+        let ctx = small_ctx(10);
+        let mut a = PoshGnn::new(PoshGnnConfig::default());
+        a.train(std::slice::from_ref(&ctx), 5);
+        let snapshot = a.export_params();
+        let recs_a = a.run_episode(&ctx);
+
+        let mut b = PoshGnn::new(PoshGnnConfig::default());
+        assert!(b.import_params(&snapshot));
+        let recs_b = b.run_episode(&ctx);
+        assert_eq!(recs_a, recs_b);
+    }
+}

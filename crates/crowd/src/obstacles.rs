@@ -1,0 +1,153 @@
+//! Static line-segment obstacles for the crowd simulator.
+//!
+//! RVO2 supports polygonal obstacles through dedicated obstacle-ORCA
+//! constraints; conferencing rooms need at least walls, stages, and podiums.
+//! We implement the standard simplification: for each nearby segment, the
+//! closest point on the segment acts as a static zero-velocity disk, and the
+//! agent takes *full* (non-reciprocal) avoidance responsibility — obstacles
+//! do not move out of the way.
+
+use xr_graph::geom::Point2;
+
+use crate::orca::{orca_line, AgentState, OrcaLine};
+
+/// A static line-segment obstacle with a physical thickness.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentObstacle {
+    /// One endpoint.
+    pub a: Point2,
+    /// The other endpoint.
+    pub b: Point2,
+    /// Half-thickness of the obstacle (meters).
+    pub thickness: f64,
+}
+
+impl SegmentObstacle {
+    /// A thin wall between two points.
+    pub fn wall(a: Point2, b: Point2) -> Self {
+        SegmentObstacle { a, b, thickness: 0.05 }
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point(&self, p: Point2) -> Point2 {
+        let ab = self.b - self.a;
+        let len_sq = ab.norm_sq();
+        if len_sq < 1e-12 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        self.a + ab * t
+    }
+
+    /// Distance from `p` to the obstacle surface (0 when inside).
+    pub fn distance(&self, p: Point2) -> f64 {
+        (self.closest_point(p).distance(p) - self.thickness).max(0.0)
+    }
+
+    /// Builds the ORCA half-plane constraint this obstacle induces on an
+    /// agent, or `None` when the obstacle is beyond `range`.
+    pub fn orca_line(
+        &self,
+        agent: &AgentState,
+        time_horizon: f64,
+        time_step: f64,
+        range: f64,
+    ) -> Option<OrcaLine> {
+        let closest = self.closest_point(agent.position);
+        if closest.distance(agent.position) > range {
+            return None;
+        }
+        let obstacle_state = AgentState { position: closest, velocity: Point2::zero(), radius: self.thickness };
+        let half = orca_line(agent, &obstacle_state, time_horizon, time_step);
+        // full responsibility: the obstacle will not take its half-step, so
+        // the agent doubles the correction `u` (line.point = v + u instead
+        // of v + u/2 ⇒ shift the point by the same correction again)
+        let correction = (half.point - agent.velocity) * 2.0;
+        Some(OrcaLine { point: agent.velocity + correction, direction: half.direction })
+    }
+
+    /// `true` when the open segment `p → q` crosses the obstacle's center
+    /// line (used by tests to prove no tunneling).
+    pub fn crossed_by(&self, p: Point2, q: Point2) -> bool {
+        segments_intersect(self.a, self.b, p, q)
+    }
+}
+
+fn orient(a: Point2, b: Point2, c: Point2) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Proper segment intersection (shared endpoints count as intersecting).
+pub fn segments_intersect(a: Point2, b: Point2, c: Point2, d: Point2) -> bool {
+    let d1 = orient(c, d, a);
+    let d2 = orient(c, d, b);
+    let d3 = orient(a, b, c);
+    let d4 = orient(a, b, d);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    let on_segment = |p: Point2, q: Point2, r: Point2| -> bool {
+        orient(p, q, r).abs() < 1e-12
+            && r.x >= p.x.min(q.x) - 1e-12
+            && r.x <= p.x.max(q.x) + 1e-12
+            && r.y >= p.y.min(q.y) - 1e-12
+            && r.y <= p.y.max(q.y) + 1e-12
+    };
+    on_segment(c, d, a) || on_segment(c, d, b) || on_segment(a, b, c) || on_segment(a, b, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> SegmentObstacle {
+        SegmentObstacle::wall(Point2::new(2.0, 0.0), Point2::new(2.0, 4.0))
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = seg();
+        assert_eq!(s.closest_point(Point2::new(0.0, 2.0)), Point2::new(2.0, 2.0));
+        assert_eq!(s.closest_point(Point2::new(5.0, -3.0)), Point2::new(2.0, 0.0));
+        assert_eq!(s.closest_point(Point2::new(1.0, 9.0)), Point2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn distance_accounts_for_thickness() {
+        let s = seg();
+        assert!((s.distance(Point2::new(0.0, 2.0)) - 1.95).abs() < 1e-12);
+        assert_eq!(s.distance(Point2::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn orca_line_range_gate() {
+        let s = seg();
+        let agent = AgentState { position: Point2::new(0.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
+        assert!(s.orca_line(&agent, 2.0, 0.25, 3.0).is_some());
+        assert!(s.orca_line(&agent, 2.0, 0.25, 1.0).is_none());
+    }
+
+    #[test]
+    fn obstacle_constraint_blocks_head_on_velocity() {
+        // agent charging straight at the wall must be deflected/slowed
+        let s = seg();
+        let agent = AgentState { position: Point2::new(1.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
+        let line = s.orca_line(&agent, 2.0, 0.25, 5.0).unwrap();
+        let v = crate::orca::solve_velocity(&[line], 1.5, Point2::new(1.0, 0.0));
+        assert!(v.x < 1.0 - 1e-6 || v.y.abs() > 1e-6, "velocity unchanged: {v:?}");
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 2.0);
+        assert!(segments_intersect(a, b, Point2::new(0.0, 2.0), Point2::new(2.0, 0.0)));
+        assert!(!segments_intersect(a, b, Point2::new(3.0, 0.0), Point2::new(4.0, 1.0)));
+        // collinear overlap
+        assert!(segments_intersect(a, b, Point2::new(1.0, 1.0), Point2::new(3.0, 3.0)));
+        // touching endpoint
+        assert!(segments_intersect(a, b, b, Point2::new(3.0, 0.0)));
+    }
+}

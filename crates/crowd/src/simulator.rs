@@ -1,0 +1,381 @@
+//! Multi-agent crowd simulator driving the XR conferencing-room trajectories.
+//!
+//! A thin orchestration layer over [`crate::orca`]: each step computes every
+//! agent's preferred velocity (toward its goal), builds ORCA constraints
+//! against its nearest neighbors, solves for the new velocity, integrates
+//! positions, and clamps agents into the rectangular room (a stand-in for
+//! RVO2's polygonal obstacle handling, adequate for a conferencing room).
+
+use xr_graph::geom::Point2;
+
+use crate::obstacles::SegmentObstacle;
+use crate::orca::{orca_line, solve_velocity, AgentState};
+
+/// One simulated participant.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    /// Current position (meters).
+    pub position: Point2,
+    /// Current velocity (m/s).
+    pub velocity: Point2,
+    /// Navigation goal; the agent steers toward it at `pref_speed`.
+    pub goal: Point2,
+    /// Body radius (meters).
+    pub radius: f64,
+    /// Preferred walking speed (m/s).
+    pub pref_speed: f64,
+    /// Hard speed cap (m/s).
+    pub max_speed: f64,
+}
+
+impl Agent {
+    /// An agent at `position` heading to `goal` with human-scale defaults
+    /// (0.25 m radius, 1.0 m/s preferred speed).
+    pub fn new(position: Point2, goal: Point2) -> Self {
+        Agent { position, velocity: Point2::zero(), goal, radius: 0.25, pref_speed: 1.0, max_speed: 1.5 }
+    }
+
+    /// `true` when the agent is within `eps` of its goal.
+    pub fn at_goal(&self, eps: f64) -> bool {
+        self.position.distance(self.goal) <= eps
+    }
+}
+
+/// Axis-aligned rectangular room.
+#[derive(Debug, Clone, Copy)]
+pub struct Room {
+    pub min: Point2,
+    pub max: Point2,
+}
+
+impl Room {
+    /// A `width × height` room with its corner at the origin.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "room must have positive area");
+        Room { min: Point2::zero(), max: Point2::new(width, height) }
+    }
+
+    /// Clamps a point into the room, leaving a `margin` from the walls.
+    pub fn clamp(&self, p: Point2, margin: f64) -> Point2 {
+        Point2::new(
+            p.x.clamp(self.min.x + margin, self.max.x - margin),
+            p.y.clamp(self.min.y + margin, self.max.y - margin),
+        )
+    }
+
+    /// `true` when `p` lies inside the room (inclusive).
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Room width.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Room height.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+}
+
+/// ORCA crowd simulator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Integration step (seconds).
+    pub time_step: f64,
+    /// Collision-avoidance look-ahead (seconds).
+    pub time_horizon: f64,
+    /// Only neighbors within this distance induce constraints (meters).
+    pub neighbor_dist: f64,
+    /// At most this many nearest neighbors induce constraints.
+    pub max_neighbors: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { time_step: 0.25, time_horizon: 2.0, neighbor_dist: 3.0, max_neighbors: 10 }
+    }
+}
+
+/// The crowd simulator.
+#[derive(Debug, Clone)]
+pub struct CrowdSimulator {
+    agents: Vec<Agent>,
+    room: Room,
+    config: SimConfig,
+    obstacles: Vec<SegmentObstacle>,
+    time: f64,
+}
+
+impl CrowdSimulator {
+    /// Creates a simulator for `agents` inside `room`.
+    pub fn new(agents: Vec<Agent>, room: Room, config: SimConfig) -> Self {
+        CrowdSimulator { agents, room, config, obstacles: Vec::new(), time: 0.0 }
+    }
+
+    /// Adds a static segment obstacle (wall, stage edge, podium side).
+    pub fn add_obstacle(&mut self, obstacle: SegmentObstacle) {
+        self.obstacles.push(obstacle);
+    }
+
+    /// The registered obstacles.
+    pub fn obstacles(&self) -> &[SegmentObstacle] {
+        &self.obstacles
+    }
+
+    /// Immutable view of the agents.
+    pub fn agents(&self) -> &[Agent] {
+        &self.agents
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// `true` when the crowd is empty.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Elapsed simulated time (seconds).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The simulated room.
+    pub fn room(&self) -> Room {
+        self.room
+    }
+
+    /// Reassigns an agent's goal (waypoint policies live in the caller).
+    pub fn set_goal(&mut self, agent: usize, goal: Point2) {
+        self.agents[agent].goal = goal;
+    }
+
+    /// Current positions of all agents.
+    pub fn positions(&self) -> Vec<Point2> {
+        self.agents.iter().map(|a| a.position).collect()
+    }
+
+    /// Advances the simulation by one time step.
+    pub fn step(&mut self) {
+        let n = self.agents.len();
+        let states: Vec<AgentState> = self
+            .agents
+            .iter()
+            .map(|a| AgentState { position: a.position, velocity: a.velocity, radius: a.radius })
+            .collect();
+
+        let mut new_velocities = Vec::with_capacity(n);
+        for i in 0..n {
+            let agent = &self.agents[i];
+            let to_goal = agent.goal - agent.position;
+            let preferred = if to_goal.norm() < 1e-6 {
+                Point2::zero()
+            } else {
+                to_goal.normalized() * agent.pref_speed.min(to_goal.norm() / self.config.time_step)
+            };
+
+            // nearest neighbors within range
+            let mut nbrs: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (states[i].position.distance_sq(states[j].position), j))
+                .filter(|&(d2, _)| d2 < self.config.neighbor_dist * self.config.neighbor_dist)
+                .collect();
+            nbrs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            nbrs.truncate(self.config.max_neighbors);
+
+            let mut lines: Vec<_> = nbrs
+                .iter()
+                .map(|&(_, j)| orca_line(&states[i], &states[j], self.config.time_horizon, self.config.time_step))
+                .collect();
+            // static obstacles induce non-reciprocal constraints
+            lines.extend(self.obstacles.iter().filter_map(|o| {
+                o.orca_line(&states[i], self.config.time_horizon, self.config.time_step, self.config.neighbor_dist)
+            }));
+
+            new_velocities.push(solve_velocity(&lines, agent.max_speed, preferred));
+        }
+
+        for (agent, v) in self.agents.iter_mut().zip(new_velocities) {
+            agent.velocity = v;
+            let raw = agent.position + v * self.config.time_step;
+            agent.position = self.room.clamp(raw, agent.radius);
+        }
+        self.time += self.config.time_step;
+    }
+
+    /// Runs `steps` steps, recording positions *after* each step.
+    pub fn run_recording(&mut self, steps: usize) -> Vec<Vec<Point2>> {
+        let mut frames = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            self.step();
+            frames.push(self.positions());
+        }
+        frames
+    }
+
+    /// Smallest center-to-center distance between any agent pair (∞ for < 2
+    /// agents). Diagnostic for the collision-avoidance invariant.
+    pub fn min_pairwise_distance(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for i in 0..self.agents.len() {
+            for j in i + 1..self.agents.len() {
+                best = best.min(self.agents[i].position.distance(self.agents[j].position));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn room_geometry() {
+        let room = Room::new(10.0, 10.0);
+        assert!(room.contains(Point2::new(5.0, 5.0)));
+        assert!(!room.contains(Point2::new(-1.0, 5.0)));
+        assert_eq!(room.clamp(Point2::new(20.0, -3.0), 0.5), Point2::new(9.5, 0.5));
+        assert_eq!(room.width(), 10.0);
+        assert_eq!(room.height(), 10.0);
+    }
+
+    #[test]
+    fn lone_agent_reaches_goal() {
+        let agents = vec![Agent::new(Point2::new(1.0, 1.0), Point2::new(8.0, 8.0))];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        for _ in 0..200 {
+            sim.step();
+        }
+        assert!(sim.agents()[0].at_goal(0.1), "agent at {:?}", sim.agents()[0].position);
+    }
+
+    #[test]
+    fn head_on_agents_swap_without_collision() {
+        let agents = vec![
+            Agent::new(Point2::new(1.0, 5.0), Point2::new(9.0, 5.0)),
+            Agent::new(Point2::new(9.0, 5.0), Point2::new(1.0, 5.0)),
+        ];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        let mut min_dist = f64::INFINITY;
+        for _ in 0..200 {
+            sim.step();
+            min_dist = min_dist.min(sim.min_pairwise_distance());
+        }
+        assert!(sim.agents()[0].at_goal(0.3));
+        assert!(sim.agents()[1].at_goal(0.3));
+        // body radius 0.25 each → centers should stay (near) 0.5 apart
+        assert!(min_dist > 0.4, "agents collided: min distance {min_dist}");
+    }
+
+    #[test]
+    fn crossing_agents_avoid_each_other() {
+        let agents = vec![
+            Agent::new(Point2::new(1.0, 5.0), Point2::new(9.0, 5.0)),
+            Agent::new(Point2::new(5.0, 1.0), Point2::new(5.0, 9.0)),
+        ];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        let mut min_dist = f64::INFINITY;
+        for _ in 0..150 {
+            sim.step();
+            min_dist = min_dist.min(sim.min_pairwise_distance());
+        }
+        assert!(min_dist > 0.4, "crossing agents collided: {min_dist}");
+    }
+
+    #[test]
+    fn agents_stay_inside_room() {
+        let agents = vec![Agent::new(Point2::new(5.0, 5.0), Point2::new(50.0, 50.0))];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        for _ in 0..100 {
+            sim.step();
+            assert!(sim.room().contains(sim.agents()[0].position));
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let make = || {
+            let agents = vec![
+                Agent::new(Point2::new(1.0, 1.0), Point2::new(9.0, 9.0)),
+                Agent::new(Point2::new(9.0, 1.0), Point2::new(1.0, 9.0)),
+                Agent::new(Point2::new(5.0, 9.0), Point2::new(5.0, 1.0)),
+            ];
+            let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+            sim.run_recording(50)
+        };
+        let a = make();
+        let b = make();
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.iter().zip(b.iter()) {
+            for (pa, pb) in fa.iter().zip(fb.iter()) {
+                assert_eq!(pa, pb);
+            }
+        }
+    }
+
+    #[test]
+    fn run_recording_returns_requested_frames() {
+        let agents = vec![Agent::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0))];
+        let mut sim = CrowdSimulator::new(agents, Room::new(5.0, 5.0), cfg());
+        let frames = sim.run_recording(7);
+        assert_eq!(frames.len(), 7);
+        assert_eq!(frames[0].len(), 1);
+        assert!((sim.time() - 7.0 * cfg().time_step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agents_route_around_a_wall() {
+        use crate::obstacles::SegmentObstacle;
+        // wall splits the room; the agent must go around, never through
+        let wall = SegmentObstacle::wall(Point2::new(5.0, 2.0), Point2::new(5.0, 8.0));
+        let agents = vec![Agent::new(Point2::new(2.0, 5.0), Point2::new(8.0, 5.0))];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        sim.add_obstacle(wall);
+        let mut prev = sim.agents()[0].position;
+        for _ in 0..400 {
+            sim.step();
+            let cur = sim.agents()[0].position;
+            assert!(!wall.crossed_by(prev, cur), "agent tunneled through the wall at {cur:?}");
+            prev = cur;
+        }
+        // ORCA is a local avoider, not a planner: with a long wall dead
+        // ahead the agent may stall, but it must never pass through.
+        assert!(sim.obstacles().len() == 1);
+    }
+
+    #[test]
+    fn agents_slide_past_a_short_wall() {
+        use crate::obstacles::SegmentObstacle;
+        // short wall slightly off the straight path: the agent slides by it
+        let wall = SegmentObstacle::wall(Point2::new(5.0, 4.4), Point2::new(5.0, 5.0));
+        let agents = vec![Agent::new(Point2::new(2.0, 5.2), Point2::new(8.0, 5.2))];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        sim.add_obstacle(wall);
+        let mut prev = sim.agents()[0].position;
+        for _ in 0..300 {
+            sim.step();
+            let cur = sim.agents()[0].position;
+            assert!(!wall.crossed_by(prev, cur), "tunneled at {cur:?}");
+            prev = cur;
+        }
+        assert!(sim.agents()[0].at_goal(0.5), "agent stuck at {:?}", sim.agents()[0].position);
+    }
+
+    #[test]
+    fn stationary_agent_stays_put_when_unthreatened() {
+        let p = Point2::new(3.0, 3.0);
+        let agents = vec![Agent::new(p, p)];
+        let mut sim = CrowdSimulator::new(agents, Room::new(10.0, 10.0), cfg());
+        sim.step();
+        assert!(sim.agents()[0].position.distance(p) < 1e-9);
+    }
+}

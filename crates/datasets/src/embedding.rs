@@ -1,0 +1,212 @@
+//! Spectral social-network embeddings.
+//!
+//! MIA (§IV-A) consumes "pre-trained user social network embeddings". We
+//! provide a dependency-free stand-in: the top-`k` eigenvectors of the
+//! symmetrically normalized adjacency `D^{-1/2} A D^{-1/2}`, computed by
+//! power iteration with deflation. Nodes that are close in the graph get
+//! similar embedding rows, so cosine similarity over the embedding is an
+//! alternative preference signal to the Adamic–Adar mixture in
+//! [`crate::utility`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr_graph::SocialGraph;
+
+/// A node embedding: `vectors[v]` is node `v`'s `k`-dimensional coordinate.
+#[derive(Debug, Clone)]
+pub struct SpectralEmbedding {
+    /// Per-node embedding rows (n × k).
+    pub vectors: Vec<Vec<f64>>,
+    /// The eigenvalues corresponding to each dimension, largest first.
+    pub eigenvalues: Vec<f64>,
+}
+
+impl SpectralEmbedding {
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `true` when no nodes are embedded.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Cosine similarity between two nodes' embeddings (0 for zero vectors).
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        let va = &self.vectors[a];
+        let vb = &self.vectors[b];
+        let dot: f64 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f64 = va.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = vb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na < 1e-12 || nb < 1e-12 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// Multiplies the normalized adjacency `D^{-1/2} A D^{-1/2}` by `x` without
+/// materializing the matrix.
+fn norm_adj_mul(g: &SocialGraph, inv_sqrt_deg: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    for v in 0..n {
+        for &(w, _) in g.ties(v) {
+            out[v] += inv_sqrt_deg[v] * inv_sqrt_deg[w] * x[w];
+        }
+    }
+    out
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Computes the top-`k` spectral embedding by power iteration with Gram–
+/// Schmidt deflation.
+///
+/// Deterministic under `seed`. Isolated nodes embed to ~zero vectors.
+pub fn spectral_embedding(g: &SocialGraph, k: usize, iterations: usize, seed: u64) -> SpectralEmbedding {
+    let n = g.node_count();
+    let k = k.min(n);
+    let inv_sqrt_deg: Vec<f64> = (0..n)
+        .map(|v| {
+            let d = g.degree(v) as f64;
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut eigenvalues = Vec::with_capacity(k);
+
+    for _ in 0..k {
+        // random start, orthogonal to the found eigenvectors
+        let mut x: Vec<f64> = (0..n).map(|_| xr_tensor::init::standard_normal(&mut rng)).collect();
+        for _ in 0..iterations {
+            let mut y = norm_adj_mul(g, &inv_sqrt_deg, &x);
+            // deflate
+            for b in &basis {
+                let c = dot(&y, b);
+                for (yi, bi) in y.iter_mut().zip(b) {
+                    *yi -= c * bi;
+                }
+            }
+            let len = norm(&y);
+            if len < 1e-12 {
+                break;
+            }
+            for yi in y.iter_mut() {
+                *yi /= len;
+            }
+            x = y;
+        }
+        let ax = norm_adj_mul(g, &inv_sqrt_deg, &x);
+        eigenvalues.push(dot(&x, &ax));
+        basis.push(x);
+    }
+
+    // scale each eigenvector by sqrt(|λ|) so dimensions carry their weight
+    let vectors: Vec<Vec<f64>> = (0..n)
+        .map(|v| {
+            basis
+                .iter()
+                .zip(&eigenvalues)
+                .map(|(b, &l)| b[v] * l.abs().sqrt())
+                .collect()
+        })
+        .collect();
+    SpectralEmbedding { vectors, eigenvalues }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::stochastic_block_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eigenvalues_are_sorted_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = stochastic_block_model(&[30, 30], 0.3, 0.02, &mut rng);
+        let emb = spectral_embedding(&g, 4, 60, 7);
+        assert_eq!(emb.dim(), 4);
+        assert_eq!(emb.len(), 60);
+        // normalized adjacency has spectrum in [-1, 1]; leading eigenvalue = 1
+        assert!((emb.eigenvalues[0] - 1.0).abs() < 0.05, "λ₀ = {}", emb.eigenvalues[0]);
+        for w in emb.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1] - 0.1, "eigenvalues out of order: {:?}", emb.eigenvalues);
+        }
+        assert!(emb.eigenvalues.iter().all(|&l| l.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn communities_are_separable_in_embedding_space() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, community) = stochastic_block_model(&[40, 40], 0.3, 0.01, &mut rng);
+        let emb = spectral_embedding(&g, 3, 80, 3);
+        let mut same = Vec::new();
+        let mut diff = Vec::new();
+        for a in 0..80 {
+            for b in a + 1..80 {
+                let c = emb.cosine(a, b);
+                if community[a] == community[b] {
+                    same.push(c);
+                } else {
+                    diff.push(c);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) > mean(&diff) + 0.2,
+            "no separation: same {} vs diff {}",
+            mean(&same),
+            mean(&diff)
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_embed_to_zero() {
+        let g = SocialGraph::new(5); // no ties at all
+        let emb = spectral_embedding(&g, 2, 20, 1);
+        for v in 0..5 {
+            assert!(emb.vectors[v].iter().all(|&x| x.abs() < 1e-9));
+        }
+        assert_eq!(emb.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, _) = stochastic_block_model(&[20, 20], 0.3, 0.05, &mut rng);
+        let a = spectral_embedding(&g, 3, 50, 9);
+        let b = spectral_embedding(&g, 3, 50, 9);
+        assert_eq!(a.vectors, b.vectors);
+    }
+
+    #[test]
+    fn k_is_capped_at_n() {
+        let mut g = SocialGraph::new(3);
+        g.add_tie(0, 1, 1.0);
+        g.add_tie(1, 2, 1.0);
+        let emb = spectral_embedding(&g, 10, 30, 1);
+        assert_eq!(emb.dim(), 3);
+    }
+}

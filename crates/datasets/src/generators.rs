@@ -1,0 +1,229 @@
+//! Random social-network generators.
+//!
+//! The paper's datasets are gated (Timik.pl crawl, SMMnet, Mozilla Hubs
+//! logs), so we synthesize graphs with matching *structural* signatures:
+//!
+//! * Barabási–Albert preferential attachment — scale-free degree tails, as in
+//!   the Timik social metaverse crawl (a few celebrity hubs, many leaves).
+//! * Stochastic block model — community structure with per-node attributes,
+//!   as in SMMnet's nationality-clustered player interactions.
+//! * Watts–Strogatz — high clustering at small scale, matching the tightly
+//!   knit Mozilla Hubs workshop crowd.
+//!
+//! Tie strengths are sampled uniformly from `[0.3, 1.0]` (strangers have no
+//! tie at all), so social-presence utilities are both sparse and graded.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use xr_graph::SocialGraph;
+
+fn tie_weight(rng: &mut impl Rng) -> f64 {
+    rng.gen_range(0.3..1.0)
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes with probability proportional to their degree.
+///
+/// # Panics
+///
+/// Panics when `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut impl Rng) -> SocialGraph {
+    assert!(m >= 1, "m must be at least 1");
+    assert!(n > m, "need more nodes than attachment edges");
+    let mut g = SocialGraph::new(n);
+    // degree-weighted urn: node id appears once per incident edge endpoint
+    let mut urn: Vec<usize> = Vec::with_capacity(2 * n * m);
+
+    // seed clique over the first m+1 nodes
+    for a in 0..=m {
+        for b in a + 1..=m {
+            g.add_tie(a, b, tie_weight(rng));
+            urn.push(a);
+            urn.push(b);
+        }
+    }
+
+    for v in m + 1..n {
+        // BTreeSet keeps iteration order deterministic, which keeps the urn
+        // (and therefore the whole generator) reproducible under a seed.
+        let mut targets = std::collections::BTreeSet::new();
+        while targets.len() < m {
+            let &candidate = urn.choose(rng).expect("urn is never empty after seeding");
+            targets.insert(candidate);
+        }
+        for &t in &targets {
+            g.add_tie(v, t, tie_weight(rng));
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side... (`k` total, must be even), each edge rewired with probability
+/// `p_rewire`.
+///
+/// # Panics
+///
+/// Panics when `k` is odd, zero, or `k >= n`.
+pub fn watts_strogatz(n: usize, k: usize, p_rewire: f64, rng: &mut impl Rng) -> SocialGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be a positive even number");
+    assert!(k < n, "k must be smaller than n");
+    let mut g = SocialGraph::new(n);
+    for v in 0..n {
+        for d in 1..=k / 2 {
+            let mut w = (v + d) % n;
+            if rng.gen::<f64>() < p_rewire {
+                // rewire to a uniform non-self, non-duplicate target
+                for _ in 0..16 {
+                    let cand = rng.gen_range(0..n);
+                    if cand != v && !g.are_friends(v, cand) {
+                        w = cand;
+                        break;
+                    }
+                }
+            }
+            if v != w && !g.are_friends(v, w) {
+                g.add_tie(v, w, tie_weight(rng));
+            }
+        }
+    }
+    g
+}
+
+/// Stochastic block model: `community_sizes.len()` communities; an edge
+/// appears with probability `p_in` inside a community and `p_out` across.
+/// Intra-community ties are stronger (`[0.5, 1.0]`) than inter ones
+/// (`[0.3, 0.6]`).
+///
+/// Returns the graph and each node's community (the "nationality" attribute
+/// in the SMM analogy).
+pub fn stochastic_block_model(
+    community_sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut impl Rng,
+) -> (SocialGraph, Vec<usize>) {
+    let n: usize = community_sizes.iter().sum();
+    assert!(n > 0, "need at least one node");
+    let mut community = Vec::with_capacity(n);
+    for (c, &size) in community_sizes.iter().enumerate() {
+        community.extend(std::iter::repeat_n(c, size));
+    }
+    let mut g = SocialGraph::new(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            let same = community[a] == community[b];
+            let p = if same { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                let w = if same { rng.gen_range(0.5..1.0) } else { rng.gen_range(0.3..0.6) };
+                g.add_tie(a, b, w);
+            }
+        }
+    }
+    (g, community)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_has_expected_edge_count_and_scale_free_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 400;
+        let m = 4;
+        let g = barabasi_albert(n, m, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // clique edges + m per subsequent node
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.edge_count(), expected);
+        // hubs: max degree far above the mean (scale-free signature)
+        let max_deg = (0..n).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            (max_deg as f64) > 3.0 * g.mean_degree(),
+            "max degree {max_deg} vs mean {}",
+            g.mean_degree()
+        );
+        // minimum degree is m
+        assert!((0..n).all(|v| g.degree(v) >= m));
+    }
+
+    #[test]
+    fn ws_ring_without_rewiring_is_regular() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = watts_strogatz(30, 4, 0.0, &mut rng);
+        assert!((0..30).all(|v| g.degree(v) == 4));
+        // the pristine ring lattice has high clustering
+        assert!(g.transitivity() > 0.3, "transitivity {}", g.transitivity());
+    }
+
+    #[test]
+    fn ws_rewiring_keeps_graph_connected_typically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = watts_strogatz(100, 6, 0.1, &mut rng);
+        let d = g.hop_distances(0);
+        let reachable = d.iter().filter(|&&x| x != usize::MAX).count();
+        assert!(reachable > 90, "only {reachable} reachable");
+    }
+
+    #[test]
+    fn sbm_denser_inside_communities() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, community) = stochastic_block_model(&[50, 50], 0.3, 0.02, &mut rng);
+        assert_eq!(community.len(), 100);
+        let mut within = 0;
+        let mut across = 0;
+        for a in 0..100 {
+            for b in a + 1..100 {
+                if g.are_friends(a, b) {
+                    if community[a] == community[b] {
+                        within += 1;
+                    } else {
+                        across += 1;
+                    }
+                }
+            }
+        }
+        assert!(within > 4 * across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn sbm_tie_strengths_reflect_membership() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, community) = stochastic_block_model(&[40, 40], 0.4, 0.05, &mut rng);
+        let mut sum_in = (0.0, 0usize);
+        let mut sum_out = (0.0, 0usize);
+        for a in 0..80 {
+            for &(b, w) in g.ties(a) {
+                if community[a] == community[b] {
+                    sum_in = (sum_in.0 + w, sum_in.1 + 1);
+                } else {
+                    sum_out = (sum_out.0 + w, sum_out.1 + 1);
+                }
+            }
+        }
+        let mean_in = sum_in.0 / sum_in.1 as f64;
+        let mean_out = sum_out.0 / sum_out.1 as f64;
+        assert!(mean_in > mean_out, "{mean_in} vs {mean_out}");
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(9));
+        let g2 = barabasi_albert(100, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for v in 0..100 {
+            assert_eq!(g1.degree(v), g2.degree(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn ba_rejects_tiny_n() {
+        barabasi_albert(3, 3, &mut StdRng::seed_from_u64(0));
+    }
+}

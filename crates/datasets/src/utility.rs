@@ -1,0 +1,186 @@
+//! Preference and social-presence utility models.
+//!
+//! The paper assumes `p(v,w) ∈ [0,1]` comes from a *pre-trained personalized
+//! recommender* and `s(v,w) ∈ [0,1]` from tie strength. We derive both from
+//! the synthetic social graph:
+//!
+//! * **Preference** blends structural similarity (Adamic–Adar, the workhorse
+//!   of classical friend-recommendation), global popularity (celebrities
+//!   attract everyone — the paper's "idols" motivating example), and a
+//!   deterministic per-pair idiosyncratic taste term.
+//! * **Social presence** is the tie strength itself: you only feel "being
+//!   together" with actual friends, graded by closeness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xr_graph::SocialGraph;
+
+/// Weights of the preference mixture.
+#[derive(Debug, Clone, Copy)]
+pub struct PreferenceModel {
+    /// Weight of normalized Adamic–Adar structural similarity.
+    pub similarity: f64,
+    /// Weight of normalized degree (popularity / celebrity effect).
+    pub popularity: f64,
+    /// Weight of the idiosyncratic per-pair taste term.
+    pub taste: f64,
+    /// Seed making the taste term reproducible.
+    pub seed: u64,
+}
+
+impl Default for PreferenceModel {
+    fn default() -> Self {
+        PreferenceModel { similarity: 0.5, popularity: 0.25, taste: 0.25, seed: 0xAF7E }
+    }
+}
+
+impl PreferenceModel {
+    /// Full `n × n` preference matrix `p[v][w]`; the diagonal is zero.
+    #[allow(clippy::needless_range_loop)] // index-coupled math over v/w is clearer
+    pub fn preference_matrix(&self, g: &SocialGraph) -> Vec<Vec<f64>> {
+        let n = g.node_count();
+        let max_deg = (0..n).map(|v| g.degree(v)).max().unwrap_or(1).max(1) as f64;
+        // Adamic–Adar contribution of each common-neighbor hub, precomputed
+        // once; the batch accumulation below is O(Σ_z deg(z)²) instead of the
+        // O(n² · deg) pairwise formulation.
+        let inv_log_deg: Vec<f64> = (0..n)
+            .map(|z| {
+                let d = g.degree(z) as f64;
+                if d > 1.0 {
+                    1.0 / d.ln()
+                } else {
+                    1.0 / (2.0_f64).ln()
+                }
+            })
+            .collect();
+        let mut out = vec![vec![0.0; n]; n];
+        let mut aa = vec![0.0; n];
+        for v in 0..n {
+            aa.iter_mut().for_each(|x| *x = 0.0);
+            for &(z, _) in g.ties(v) {
+                for &(w, _) in g.ties(z) {
+                    if w != v {
+                        aa[w] += inv_log_deg[z];
+                    }
+                }
+            }
+            let aa_max = aa.iter().cloned().fold(0.0_f64, f64::max).max(1e-9);
+            for w in 0..n {
+                if w == v {
+                    continue;
+                }
+                let sim = aa[w] / aa_max;
+                let pop = g.degree(w) as f64 / max_deg;
+                let taste = pair_taste(self.seed, v, w);
+                out[v][w] =
+                    (self.similarity * sim + self.popularity * pop + self.taste * taste).clamp(0.0, 1.0);
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic pseudo-random taste in `[0,1)` for an ordered pair.
+fn pair_taste(seed: u64, v: usize, w: usize) -> f64 {
+    // splitmix-style mix of (seed, v, w) → one uniform draw
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+    );
+    rng.gen::<f64>()
+}
+
+/// Full `n × n` social-presence matrix `s[v][w]` (tie strengths; zero
+/// diagonal, zero for strangers).
+#[allow(clippy::needless_range_loop)] // index-coupled math over v/w is clearer
+pub fn social_presence_matrix(g: &SocialGraph) -> Vec<Vec<f64>> {
+    let n = g.node_count();
+    let mut out = vec![vec![0.0; n]; n];
+    for v in 0..n {
+        for &(w, strength) in g.ties(v) {
+            out[v][w] = strength;
+        }
+    }
+    out
+}
+
+/// Restricts a full utility matrix to a participant subset, reindexed to
+/// `0..participants.len()`.
+pub fn restrict_matrix(full: &[Vec<f64>], participants: &[usize]) -> Vec<Vec<f64>> {
+    participants
+        .iter()
+        .map(|&v| participants.iter().map(|&w| full[v][w]).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> SocialGraph {
+        barabasi_albert(60, 3, &mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn preference_matrix_is_valid() {
+        let g = graph();
+        let p = PreferenceModel::default().preference_matrix(&g);
+        assert_eq!(p.len(), 60);
+        for v in 0..60 {
+            assert_eq!(p[v][v], 0.0, "diagonal must be zero");
+            for w in 0..60 {
+                assert!((0.0..=1.0).contains(&p[v][w]), "p[{v}][{w}] = {}", p[v][w]);
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_are_preferred_on_average() {
+        let g = graph();
+        let p = PreferenceModel::default().preference_matrix(&g);
+        let n = g.node_count();
+        let mut by_deg: Vec<(usize, f64)> = (0..n)
+            .map(|w| {
+                let mean_in: f64 = (0..n).filter(|&v| v != w).map(|v| p[v][w]).sum::<f64>() / (n - 1) as f64;
+                (g.degree(w), mean_in)
+            })
+            .collect();
+        by_deg.sort_by_key(|&(d, _)| d);
+        let low: f64 = by_deg[..10].iter().map(|&(_, m)| m).sum::<f64>() / 10.0;
+        let high: f64 = by_deg[n - 10..].iter().map(|&(_, m)| m).sum::<f64>() / 10.0;
+        assert!(high > low, "celebrity effect missing: high {high} vs low {low}");
+    }
+
+    #[test]
+    fn taste_is_deterministic_but_pair_specific() {
+        assert_eq!(pair_taste(1, 3, 5), pair_taste(1, 3, 5));
+        assert_ne!(pair_taste(1, 3, 5), pair_taste(1, 5, 3));
+        assert_ne!(pair_taste(1, 3, 5), pair_taste(2, 3, 5));
+    }
+
+    #[test]
+    fn social_presence_matches_ties() {
+        let g = graph();
+        let s = social_presence_matrix(&g);
+        for v in 0..g.node_count() {
+            for w in 0..g.node_count() {
+                assert_eq!(s[v][w], g.tie_strength(v, w));
+                assert!((s[v][w] - s[w][v]).abs() < 1e-12, "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_reindexes() {
+        let full = vec![
+            vec![0.0, 0.1, 0.2, 0.3],
+            vec![1.0, 0.0, 1.2, 1.3],
+            vec![2.0, 2.1, 0.0, 2.3],
+            vec![3.0, 3.1, 3.2, 0.0],
+        ];
+        let r = restrict_matrix(&full, &[3, 1]);
+        assert_eq!(r, vec![vec![0.0, 3.1], vec![1.3, 0.0]]);
+    }
+}

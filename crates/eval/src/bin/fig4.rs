@@ -1,0 +1,55 @@
+//! Regenerates Fig. 4: per-method utility and (simulated) Likert feedback in
+//! the 48-participant user study, for overall satisfaction, preference, and
+//! social presence.
+//!
+//! Usage: `cargo run --release -p xr-eval --bin fig4`
+
+use xr_eval::report::emit;
+use xr_eval::{run_user_study, UserStudyConfig};
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = ((value / max) * width as f64).round().max(0.0) as usize;
+    format!("{}{}", "#".repeat(filled.min(width)), " ".repeat(width - filled.min(width)))
+}
+
+fn main() {
+    let result = run_user_study(&UserStudyConfig::default());
+    let mut text = String::from("Fig. 4: utility and user feedback in the (simulated) user study\n\n");
+
+    let sections: [(&str, fn(&xr_eval::StudyOutcome) -> (f64, f64)); 3] = [
+        ("Overall (AFTER utility / satisfaction)", |o| (o.utility_per_step, o.feedback_overall)),
+        ("Preference (utility / customization feedback)", |o| (o.preference_per_step, o.feedback_preference)),
+        ("Social presence (utility / company-of-friends feedback)", |o| {
+            (o.social_presence_per_step, o.feedback_social)
+        }),
+    ];
+    for (title, extract) in sections {
+        text.push_str(&format!("== {title} ==\n"));
+        let max_u = result.outcomes.iter().map(|o| extract(o).0).fold(0.0_f64, f64::max).max(1e-9);
+        for o in &result.outcomes {
+            let (u, f) = extract(o);
+            text.push_str(&format!(
+                "{:<10} utility {:6.3}/step |{}|   feedback {:.3}/5 |{}|\n",
+                o.name,
+                u,
+                bar(u, max_u, 24),
+                f,
+                bar(f, 5.0, 24)
+            ));
+        }
+        text.push('\n');
+    }
+    emit("fig4.txt", &text);
+
+    let mut csv = String::from(
+        "method,utility_per_step,preference_per_step,social_presence_per_step,feedback_overall,feedback_preference,feedback_social\n",
+    );
+    for o in &result.outcomes {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+            o.name, o.utility_per_step, o.preference_per_step, o.social_presence_per_step,
+            o.feedback_overall, o.feedback_preference, o.feedback_social
+        ));
+    }
+    emit("fig4.csv", &csv);
+}

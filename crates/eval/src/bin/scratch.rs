@@ -1,0 +1,24 @@
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_eval::{run_comparison, ComparisonConfig};
+
+fn main() {
+    let alpha: f64 = std::env::var("ALPHA").ok().and_then(|x| x.parse().ok()).unwrap_or(0.75);
+    let epochs: usize = std::env::var("EPOCHS").ok().and_then(|x| x.parse().ok()).unwrap_or(60);
+    println!("alpha={alpha} epochs={epochs}");
+    let dataset = Dataset::generate(DatasetKind::Timik, 1);
+    let cfg = ComparisonConfig {
+        scenario: ScenarioConfig { n_participants: 200, time_steps: 60, seed: 11, ..ScenarioConfig::default() },
+        train_seed: 12,
+        beta: 0.5,
+        alpha,
+        n_targets: 4,
+        train_epochs: epochs,
+        top_k: 10,
+        include_comurnet: true,
+    };
+    let cmp = run_comparison(&dataset, &cfg);
+    println!("{}", cmp.render_table("scratch Timik-ish"));
+    for r in &cmp.results {
+        println!("{:<10} mean_recommended = {:.1}", r.name, r.mean.mean_recommended);
+    }
+}

@@ -1,0 +1,26 @@
+use poshgnn::{PoshGnn, PoshGnnConfig, AfterRecommender};
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_eval::{build_contexts, pick_targets};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetKind::Timik, 1);
+    let sc = ScenarioConfig { n_participants: 200, time_steps: 60, seed: 11, ..ScenarioConfig::default() };
+    let test_scenario = dataset.sample_scenario(&sc);
+    let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 12, ..sc });
+    let targets = pick_targets(&test_scenario, 3, 11 ^ 0x7A46);
+    let train_targets = pick_targets(&train_scenario, 3, 12 ^ 0x7A46);
+    let test_ctx = build_contexts(&test_scenario, &targets, 0.5);
+    let train_ctx = build_contexts(&train_scenario, &train_targets, 0.5);
+
+    let mut model = PoshGnn::new(PoshGnnConfig::default());
+    for epoch in 0..12 {
+        let h = model.train(&train_ctx, 15);
+        for (i, ctx) in test_ctx.iter().enumerate() {
+            model.begin_episode(ctx);
+            let soft = model.soft_recommend(ctx, 0);
+            let above: usize = soft.iter().filter(|&&x| x > 0.5).count();
+            print!("  [tgt{} #>0.5 {:3}]", i, above);
+        }
+        println!("  loss {:8.3} (epoch {})", h.last().unwrap(), (epoch+1)*15);
+    }
+}

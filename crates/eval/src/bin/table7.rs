@@ -1,0 +1,54 @@
+//! Regenerates Table VII: sensitivity of POSHGNN to the proportion of VR
+//! (remote) users, N = 200 on the SMM-like dataset.
+//!
+//! Usage: `cargo run --release -p xr-eval --bin table7`
+
+use poshgnn::{LossParams, PoshGnn, PoshGnnConfig};
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_eval::report::emit;
+use xr_eval::runner::{build_contexts, pick_targets, run_method};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetKind::Smm, 7);
+    let fractions = [0.75, 0.5, 0.25];
+    let mut rows = Vec::new();
+    for &vr in &fractions {
+        let scenario_cfg = ScenarioConfig { vr_fraction: vr, time_steps: 50, seed: 107, ..ScenarioConfig::default() };
+        let test_scenario = dataset.sample_scenario(&scenario_cfg);
+        let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 207, ..scenario_cfg });
+        let test_ctx = build_contexts(&test_scenario, &pick_targets(&test_scenario, 3, 7), 0.5);
+        let train_ctx = build_contexts(&train_scenario, &pick_targets(&train_scenario, 3, 8), 0.5);
+        let mut model = PoshGnn::new(PoshGnnConfig { loss: LossParams::default(), ..Default::default() });
+        model.train(&train_ctx, 50);
+        rows.push((vr, run_method(&mut model, &test_ctx)));
+    }
+
+    let mut text = String::from("Table VII: sensitivity test on the proportion of VR users (N = 200)\n");
+    text.push_str(&format!("{:<22}", "Metrics"));
+    for (vr, _) in &rows {
+        text.push_str(&format!("{:>12}", format!("VR = {:.0}%", vr * 100.0)));
+    }
+    text.push('\n');
+    let metric_rows: [(&str, fn(&xr_eval::MethodResult) -> String); 3] = [
+        ("AFTER Utility ^", |r| format!("{:.1}", r.mean.after_utility)),
+        ("Preference ^", |r| format!("{:.1}", r.mean.preference)),
+        ("Social Presence ^", |r| format!("{:.1}", r.mean.social_presence)),
+    ];
+    for (label, f) in metric_rows {
+        text.push_str(&format!("{label:<22}"));
+        for (_, r) in &rows {
+            text.push_str(&format!("{:>12}", f(r)));
+        }
+        text.push('\n');
+    }
+    emit("table7.txt", &text);
+
+    let mut csv = String::from("vr_fraction,after_utility,preference,social_presence\n");
+    for (vr, r) in &rows {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            vr, r.mean.after_utility, r.mean.preference, r.mean.social_presence
+        ));
+    }
+    emit("table7.csv", &csv);
+}

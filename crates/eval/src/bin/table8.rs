@@ -1,0 +1,33 @@
+//! Regenerates Table VIII: Pearson/Spearman correlations between the
+//! defined utilities and (simulated) user satisfaction feedback.
+//!
+//! Usage: `cargo run --release -p xr-eval --bin table8`
+
+use xr_eval::report::emit;
+use xr_eval::{run_user_study, UserStudyConfig};
+
+fn main() {
+    let result = run_user_study(&UserStudyConfig::default());
+    let c = result.correlations();
+    let mut text = String::from("Table VIII: correlation analysis of utilities vs satisfaction\n");
+    text.push_str(&format!(
+        "{:<12}{:>12}{:>18}{:>28}\n",
+        "Correlation", "Preference", "Social Presence", "AFTER util. (satisfaction)"
+    ));
+    text.push_str(&format!(
+        "{:<12}{:>12.3}{:>18.3}{:>28.3}\n",
+        "Pearson", c.pearson_preference, c.pearson_social, c.pearson_after
+    ));
+    text.push_str(&format!(
+        "{:<12}{:>12.3}{:>18.3}{:>28.3}\n",
+        "Spearman", c.spearman_preference, c.spearman_social, c.spearman_after
+    ));
+    emit("table8.txt", &text);
+
+    let csv = format!(
+        "correlation,preference,social_presence,after\npearson,{:.4},{:.4},{:.4}\nspearman,{:.4},{:.4},{:.4}\n",
+        c.pearson_preference, c.pearson_social, c.pearson_after,
+        c.spearman_preference, c.spearman_social, c.spearman_after
+    );
+    emit("table8.csv", &csv);
+}

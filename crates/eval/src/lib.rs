@@ -1,0 +1,25 @@
+//! # xr-eval
+//!
+//! Evaluation harness for the AFTER/POSHGNN reproduction:
+//!
+//! * [`stats`] — descriptive statistics, Pearson/Spearman correlations, and
+//!   Welch's t-test with incomplete-beta p-values.
+//! * [`runner`] — method training/timing/evaluation, the eight-method
+//!   comparison (Tables II–IV), and the ablation runner (Table V).
+//! * [`userstudy`] — the 48-participant user-study simulator (Fig. 4 and
+//!   Table VIII).
+//!
+//! The table/figure regeneration binaries live in `src/bin/` — one per paper
+//! artifact (`table2` … `table8`, `fig2_walkthrough`, `fig4`).
+
+pub mod report;
+pub mod runner;
+pub mod stats;
+pub mod userstudy;
+
+pub use runner::{
+    build_contexts, pick_targets, run_ablation, run_comparison, run_method, Comparison, DelayedRecommender,
+    ComparisonConfig, MethodResult, RenderAllRecommender,
+};
+pub use stats::{mean, pearson, spearman, std_dev, variance, welch_t_test, WelchResult};
+pub use userstudy::{run_user_study, CorrelationTable, StudyOutcome, UserStudyConfig, UserStudyResult};

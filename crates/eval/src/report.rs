@@ -1,0 +1,50 @@
+//! Output helpers for the table/figure regeneration binaries: everything is
+//! printed to stdout *and* written under `results/` next to the workspace
+//! root, so `EXPERIMENTS.md` can reference stable artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory the binaries write into (created on demand).
+pub fn results_dir() -> PathBuf {
+    // Walk up from the current dir until a Cargo workspace root is found;
+    // fall back to the current directory.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            break;
+        }
+        if !dir.pop() {
+            dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            break;
+        }
+    }
+    dir.join("results")
+}
+
+/// Prints `text` and writes it to `results/<name>`.
+pub fn emit(name: &str, text: &str) {
+    println!("{text}");
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("[written to {}]", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_under_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Experiment orchestration: trains the learned methods, times every
+//! recommender per step, evaluates AFTER utilities, and renders the paper's
+//! result tables.
+
+use std::time::Instant;
+
+use poshgnn::recommender::AfterRecommender;
+use poshgnn::{evaluate_sequence, PoshGnn, PoshGnnConfig, PoshVariant, TargetContext, UtilityBreakdown};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use xr_baselines::{
+    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
+    NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
+};
+use xr_datasets::{Dataset, Scenario, ScenarioConfig};
+
+use crate::stats::welch_t_test;
+
+/// Renders every surrounding user — the "Original" condition of the user
+/// study (no adaptive display at all).
+pub struct RenderAllRecommender;
+
+impl AfterRecommender for RenderAllRecommender {
+    fn name(&self) -> String {
+        "Original".to_string()
+    }
+
+    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+
+    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
+        (0..ctx.n).map(|w| w != ctx.target).collect()
+    }
+}
+
+/// Wraps a recommender with an overridden delivery latency — used by the
+/// `comurnet_latency` experiment to study how staleness degrades a per-step
+/// combinatorial optimizer (the paper's practicality argument, swept).
+pub struct DelayedRecommender<R> {
+    inner: R,
+    latency: usize,
+}
+
+impl<R: AfterRecommender> DelayedRecommender<R> {
+    /// Wraps `inner`, forcing its decisions to land `latency` steps late.
+    pub fn new(inner: R, latency: usize) -> Self {
+        DelayedRecommender { inner, latency }
+    }
+}
+
+impl<R: AfterRecommender> AfterRecommender for DelayedRecommender<R> {
+    fn name(&self) -> String {
+        format!("{} (lag {})", self.inner.name(), self.latency)
+    }
+
+    fn begin_episode(&mut self, ctx: &TargetContext) {
+        self.inner.begin_episode(ctx);
+    }
+
+    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
+        self.inner.recommend_step(ctx, t)
+    }
+
+    fn latency_steps(&self) -> usize {
+        self.latency
+    }
+}
+
+/// Evaluation outcome of one method over a set of target users.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method display name.
+    pub name: String,
+    /// Metrics averaged over targets.
+    pub mean: UtilityBreakdown,
+    /// Per-target metrics (for significance tests).
+    pub per_target: Vec<UtilityBreakdown>,
+    /// Mean wall-clock milliseconds per recommendation step.
+    pub ms_per_step: f64,
+}
+
+/// Runs one recommender over every target context, timing each step.
+///
+/// Methods with non-zero [`AfterRecommender::latency_steps`] deliver stale
+/// decisions: the decision computed for step `t` is *applied* at
+/// `t + latency`, and nothing is displayed before the first delivery — the
+/// paper's practicality penalty (Fig. 2b) made concrete.
+pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) -> MethodResult {
+    let mut per_target = Vec::with_capacity(contexts.len());
+    let mut total_ms = 0.0;
+    let mut total_steps = 0usize;
+    let latency = rec.latency_steps();
+    for ctx in contexts {
+        rec.begin_episode(ctx);
+        let mut computed = Vec::with_capacity(ctx.t_max() + 1);
+        for t in 0..=ctx.t_max() {
+            let start = Instant::now();
+            let decision = rec.recommend_step(ctx, t);
+            total_ms += start.elapsed().as_secs_f64() * 1e3;
+            total_steps += 1;
+            computed.push(decision);
+        }
+        let recs: Vec<Vec<bool>> = (0..=ctx.t_max())
+            .map(|t| {
+                if t >= latency {
+                    computed[t - latency].clone()
+                } else {
+                    vec![false; ctx.n]
+                }
+            })
+            .collect();
+        per_target.push(evaluate_sequence(ctx, &recs));
+    }
+    MethodResult {
+        name: rec.name(),
+        mean: UtilityBreakdown::mean(&per_target),
+        per_target,
+        ms_per_step: total_ms / total_steps.max(1) as f64,
+    }
+}
+
+/// Configuration of a full method comparison (Tables II–IV).
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonConfig {
+    /// Test-scenario parameters (dataset defaults unless overridden).
+    pub scenario: ScenarioConfig,
+    /// Seed of the disjoint training scenario (the 80/20 split stand-in).
+    pub train_seed: u64,
+    /// Social-presence weight `β`.
+    pub beta: f64,
+    /// Occlusion penalty weight `α` for the POSHGNN-loss-trained methods.
+    pub alpha: f64,
+    /// Number of evaluated target users.
+    pub n_targets: usize,
+    /// Training epochs for POSHGNN / TGCN / DCRNN.
+    pub train_epochs: usize,
+    /// Top-k budget for Random / Nearest / GraFrank.
+    pub top_k: usize,
+    /// Whether to include the (slow) COMURNet baseline.
+    pub include_comurnet: bool,
+}
+
+impl ComparisonConfig {
+    /// Paper-style defaults on top of a dataset's scenario config.
+    pub fn paper_defaults(scenario: ScenarioConfig) -> Self {
+        ComparisonConfig {
+            scenario,
+            train_seed: scenario.seed ^ 0x5EED,
+            beta: 0.5,
+            alpha: poshgnn::LossParams::default().alpha,
+            n_targets: 4,
+            train_epochs: 60,
+            top_k: 10,
+            include_comurnet: true,
+        }
+    }
+}
+
+/// A completed comparison on one dataset.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Dataset display name.
+    pub dataset: String,
+    /// One result per method, POSHGNN first.
+    pub results: Vec<MethodResult>,
+}
+
+/// Deterministically samples target users for a scenario.
+pub fn pick_targets(scenario: &Scenario, n_targets: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..scenario.n()).collect();
+    idx.shuffle(&mut rng);
+    idx.truncate(n_targets.min(scenario.n()));
+    idx
+}
+
+/// Builds target contexts for a scenario.
+pub fn build_contexts(scenario: &Scenario, targets: &[usize], beta: f64) -> Vec<TargetContext> {
+    targets.iter().map(|&t| TargetContext::new(scenario, t, beta)).collect()
+}
+
+/// Runs the full eight-method comparison on one dataset (the engine behind
+/// Tables II, III, and IV).
+pub fn run_comparison(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
+    let test_scenario = dataset.sample_scenario(&cfg.scenario);
+    let train_scenario =
+        dataset.sample_scenario(&ScenarioConfig { seed: cfg.train_seed, ..cfg.scenario });
+
+    let targets = pick_targets(&test_scenario, cfg.n_targets, cfg.scenario.seed ^ 0x7A46);
+    let train_targets = pick_targets(&train_scenario, cfg.n_targets, cfg.train_seed ^ 0x7A46);
+    let test_ctx = build_contexts(&test_scenario, &targets, cfg.beta);
+    let train_ctx = build_contexts(&train_scenario, &train_targets, cfg.beta);
+
+    let mut results = Vec::new();
+
+    // POSHGNN (trained)
+    let mut posh = PoshGnn::new(PoshGnnConfig {
+        loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
+        ..Default::default()
+    });
+    posh.train(&train_ctx, cfg.train_epochs);
+    results.push(run_method(&mut posh, &test_ctx));
+
+    // trivial baselines
+    results.push(run_method(&mut RandomRecommender::new(cfg.top_k, 1234), &test_ctx));
+    results.push(run_method(&mut NearestRecommender::new(cfg.top_k), &test_ctx));
+
+    // static learned baselines (fit on the scenario's social structure)
+    let k_clusters = (test_scenario.n() / 10).max(2);
+    let mut mvagc = MvAgcRecommender::fit(&test_scenario, k_clusters, 2, 77);
+    results.push(run_method(&mut mvagc, &test_ctx));
+    let mut grafrank = GraFrankRecommender::fit(
+        &test_scenario,
+        GraFrankConfig { top_k: cfg.top_k, ..Default::default() },
+    );
+    results.push(run_method(&mut grafrank, &test_ctx));
+
+    // recurrent baselines (trained with the POSHGNN loss)
+    let rnn_cfg = RnnConfig {
+        loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
+        ..Default::default()
+    };
+    let mut dcrnn = RnnRecommender::new(RnnKind::Dcrnn, rnn_cfg);
+    dcrnn.train(&train_ctx, cfg.train_epochs);
+    results.push(run_method(&mut dcrnn, &test_ctx));
+    let mut tgcn = RnnRecommender::new(RnnKind::Tgcn, rnn_cfg);
+    tgcn.train(&train_ctx, cfg.train_epochs);
+    results.push(run_method(&mut tgcn, &test_ctx));
+
+    if cfg.include_comurnet {
+        let mut comur = ComurNetRecommender::new(ComurNetConfig::default());
+        results.push(run_method(&mut comur, &test_ctx));
+    }
+
+    Comparison { dataset: dataset.kind.name().to_string(), results }
+}
+
+/// Runs the Table V ablation: Full vs PDR+MIA vs PDR-only POSHGNN.
+pub fn run_ablation(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
+    let test_scenario = dataset.sample_scenario(&cfg.scenario);
+    let train_scenario =
+        dataset.sample_scenario(&ScenarioConfig { seed: cfg.train_seed, ..cfg.scenario });
+    let targets = pick_targets(&test_scenario, cfg.n_targets, cfg.scenario.seed ^ 0x7A46);
+    let train_targets = pick_targets(&train_scenario, cfg.n_targets, cfg.train_seed ^ 0x7A46);
+    let test_ctx = build_contexts(&test_scenario, &targets, cfg.beta);
+    let train_ctx = build_contexts(&train_scenario, &train_targets, cfg.beta);
+
+    let mut results = Vec::new();
+    for variant in [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly] {
+        let mut model = PoshGnn::new(PoshGnnConfig {
+            variant,
+            loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
+            ..Default::default()
+        });
+        model.train(&train_ctx, cfg.train_epochs);
+        let mut r = run_method(&mut model, &test_ctx);
+        r.name = variant.name().to_string();
+        results.push(r);
+    }
+    Comparison { dataset: dataset.kind.name().to_string(), results }
+}
+
+impl Comparison {
+    /// The result row for a method name, if present.
+    pub fn get(&self, name: &str) -> Option<&MethodResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+
+    /// Welch-t p-values of the first method (POSHGNN) against each baseline
+    /// on per-target AFTER utility.
+    pub fn p_values_vs_first(&self) -> Vec<(String, f64)> {
+        let first = &self.results[0];
+        let xs: Vec<f64> = first.per_target.iter().map(|b| b.after_utility).collect();
+        self.results[1..]
+            .iter()
+            .map(|r| {
+                let ys: Vec<f64> = r.per_target.iter().map(|b| b.after_utility).collect();
+                (r.name.clone(), welch_t_test(&xs, &ys).p_value)
+            })
+            .collect()
+    }
+
+    /// Renders the paper-style metric table as text.
+    #[allow(clippy::type_complexity)] // local row-formatter table
+    pub fn render_table(&self, title: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{title}\n"));
+        out.push_str(&format!("{:<22}", "Metrics"));
+        for r in &self.results {
+            out.push_str(&format!("{:>12}", truncate(&r.name, 12)));
+        }
+        out.push('\n');
+        let rows: [(&str, Box<dyn Fn(&MethodResult) -> String>); 5] = [
+            ("AFTER Utility ^", Box::new(|r| format!("{:.1}", r.mean.after_utility))),
+            ("Preference ^", Box::new(|r| format!("{:.1}", r.mean.preference))),
+            ("Social Presence ^", Box::new(|r| format!("{:.1}", r.mean.social_presence))),
+            ("View Occlusion v", Box::new(|r| format!("{:.1}%", 100.0 * r.mean.view_occlusion_rate))),
+            ("Running Time (ms) v", Box::new(|r| format!("{:.3}", r.ms_per_step))),
+        ];
+        for (label, f) in rows {
+            out.push_str(&format!("{label:<22}"));
+            for r in &self.results {
+                out.push_str(&format!("{:>12}", f(r)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (one row per method).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "dataset,method,after_utility,preference,social_presence,view_occlusion_rate,ms_per_step\n",
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
+                self.dataset,
+                r.name,
+                r.mean.after_utility,
+                r.mean.preference,
+                r.mean.social_presence,
+                r.mean.view_occlusion_rate,
+                r.ms_per_step
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        s.chars().take(max - 1).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_datasets::DatasetKind;
+
+    fn tiny_cfg(seed: u64) -> ComparisonConfig {
+        ComparisonConfig {
+            scenario: ScenarioConfig {
+                n_participants: 12,
+                vr_fraction: 0.5,
+                time_steps: 6,
+                room_side: 6.0,
+                body_radius: 0.15,
+                seed,
+            },
+            train_seed: seed + 1,
+            beta: 0.5,
+            alpha: 0.75,
+            n_targets: 2,
+            train_epochs: 4,
+            top_k: 4,
+            include_comurnet: false,
+        }
+    }
+
+    #[test]
+    fn run_method_times_and_evaluates() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let scenario = dataset.sample_scenario(&tiny_cfg(2).scenario);
+        let ctxs = build_contexts(&scenario, &[0, 3], 0.5);
+        let result = run_method(&mut RandomRecommender::new(3, 9), &ctxs);
+        assert_eq!(result.name, "Random");
+        assert_eq!(result.per_target.len(), 2);
+        assert!(result.ms_per_step >= 0.0);
+        assert!(result.mean.mean_recommended > 0.0);
+    }
+
+    #[test]
+    fn comparison_produces_all_methods() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cmp = run_comparison(&dataset, &tiny_cfg(3));
+        let names: Vec<&str> = cmp.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["POSHGNN", "Random", "Nearest", "MvAGC", "GraFrank", "DCRNN", "TGCN"]
+        );
+        // every method produced finite metrics
+        for r in &cmp.results {
+            assert!(r.mean.after_utility.is_finite(), "{} broke", r.name);
+        }
+        let table = cmp.render_table("test table");
+        assert!(table.contains("POSHGNN") && table.contains("View Occlusion"));
+        let csv = cmp.to_csv();
+        assert_eq!(csv.lines().count(), 1 + cmp.results.len());
+    }
+
+    #[test]
+    fn ablation_produces_three_variants() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cmp = run_ablation(&dataset, &tiny_cfg(4));
+        let names: Vec<&str> = cmp.results.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["Full", "PDR w/ MIA", "Only PDR"]);
+    }
+
+    #[test]
+    fn p_values_are_probabilities() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cmp = run_comparison(&dataset, &tiny_cfg(5));
+        for (name, p) in cmp.p_values_vs_first() {
+            assert!((0.0..=1.0).contains(&p), "{name}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn render_all_displays_everyone() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let scenario = dataset.sample_scenario(&tiny_cfg(6).scenario);
+        let ctx = TargetContext::new(&scenario, 0, 0.5);
+        let mut rec = RenderAllRecommender;
+        let d = rec.recommend_step(&ctx, 0);
+        assert_eq!(d.iter().filter(|&&b| b).count(), scenario.n() - 1);
+    }
+
+    #[test]
+    fn pick_targets_is_deterministic_and_distinct() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let scenario = dataset.sample_scenario(&tiny_cfg(7).scenario);
+        let a = pick_targets(&scenario, 5, 9);
+        let b = pick_targets(&scenario, 5, 9);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+}

@@ -1,0 +1,292 @@
+//! Statistics used by the evaluation: descriptive moments, Pearson and
+//! Spearman correlations (Table VIII), and Welch's t-test with exact
+//! p-values via the regularized incomplete beta function (the significance
+//! claims in §V-B).
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for fewer than two samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson product-moment correlation; 0 when either input is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "correlation inputs must align");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Fractional ranks with ties averaged (the standard treatment for
+/// Spearman's ρ).
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's method, as in Numerical Recipes).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "shape parameters must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // even step
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of `ln Γ(x)`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+pub fn t_test_p_value(t: f64, df: f64) -> f64 {
+    if df <= 0.0 {
+        return 1.0;
+    }
+    let x = df / (df + t * t);
+    incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Result of Welch's unequal-variance t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct WelchResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Welch's t-test comparing two independent samples.
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> WelchResult {
+    let nx = xs.len() as f64;
+    let ny = ys.len() as f64;
+    if nx < 2.0 || ny < 2.0 {
+        return WelchResult { t: 0.0, df: 0.0, p_value: 1.0 };
+    }
+    let vx = variance(xs) / nx;
+    let vy = variance(ys) / ny;
+    let se = (vx + vy).sqrt();
+    if se == 0.0 {
+        let t = if mean(xs) == mean(ys) { 0.0 } else { f64::INFINITY };
+        return WelchResult { t, df: nx + ny - 2.0, p_value: if t == 0.0 { 1.0 } else { 0.0 } };
+    }
+    let t = (mean(xs) - mean(ys)) / se;
+    let df = (vx + vy).powi(2) / (vx * vx / (nx - 1.0) + vy * vy / (ny - 1.0));
+    WelchResult { t, df, p_value: t_test_p_value(t, df) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptive_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_of_linear_data_is_one() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[2.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_invariant() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect(); // monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        assert!((ln_gamma(5.0) - (24.0_f64).ln()).abs() < 1e-10);
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let x = 0.37;
+        let lhs = incomplete_beta(2.5, 1.5, x);
+        let rhs = 1.0 - incomplete_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-12);
+        // I_x(1,1) = x (uniform CDF)
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_test_p_values_match_known_quantiles() {
+        // For df = 10, t = 2.228 is the 97.5th percentile → p ≈ 0.05
+        let p = t_test_p_value(2.228, 10.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // t = 0 → p = 1
+        assert!((t_test_p_value(0.0, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_separated_samples() {
+        let a: Vec<f64> = (0..20).map(|i| 10.0 + (i % 3) as f64 * 0.1).collect();
+        let b: Vec<f64> = (0..20).map(|i| 5.0 + (i % 3) as f64 * 0.1).collect();
+        let r = welch_t_test(&a, &b);
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(r.t > 0.0);
+    }
+
+    #[test]
+    fn welch_accepts_identical_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&a, &a);
+        assert!((r.t).abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+}

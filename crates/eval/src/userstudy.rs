@@ -1,0 +1,252 @@
+//! User-study simulator (paper §V-C, Fig. 4 and Table VIII).
+//!
+//! The original study puts 48 human participants into an XR conferencing
+//! prototype (iPhone MR / Quest 2 VR) and records 5-point Likert
+//! satisfaction for five methods. Humans and headsets are out of reach for a
+//! library reproduction, so we simulate the study's *response model*: the
+//! paper itself validates (Table VIII) that satisfaction is strongly
+//! monotone in the delivered utility, so synthetic participants rate each
+//! method with a noisy, saturating function of the per-step utility they
+//! received. The simulator regenerates both the Fig. 4 bar structure
+//! (utility + feedback per method, for overall / preference / social
+//! presence) and the Table VIII correlation analysis.
+
+use poshgnn::recommender::AfterRecommender;
+use poshgnn::{PoshGnn, PoshGnnConfig, TargetContext};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_tensor::init::normal;
+
+use crate::runner::{build_contexts, run_method, MethodResult, RenderAllRecommender};
+use crate::stats::{mean, pearson, spearman};
+use xr_baselines::{ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender};
+
+/// Configuration of the simulated study.
+#[derive(Debug, Clone, Copy)]
+pub struct UserStudyConfig {
+    /// Number of participants (the paper recruits 48).
+    pub participants: usize,
+    /// Episode length per session.
+    pub time_steps: usize,
+    /// Training epochs for POSHGNN before the study.
+    pub train_epochs: usize,
+    /// Likert noise standard deviation.
+    pub noise_std: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for UserStudyConfig {
+    fn default() -> Self {
+        UserStudyConfig { participants: 48, time_steps: 40, train_epochs: 15, noise_std: 0.25, seed: 2024 }
+    }
+}
+
+/// Per-method outcome of the study.
+#[derive(Debug, Clone)]
+pub struct StudyOutcome {
+    /// Method name.
+    pub name: String,
+    /// Mean per-step AFTER utility across participants.
+    pub utility_per_step: f64,
+    /// Mean per-step preference utility.
+    pub preference_per_step: f64,
+    /// Mean per-step social-presence utility.
+    pub social_presence_per_step: f64,
+    /// Mean Likert feedback on overall satisfaction (1–5).
+    pub feedback_overall: f64,
+    /// Mean Likert feedback on viewport customization (1–5).
+    pub feedback_preference: f64,
+    /// Mean Likert feedback on the company of friends (1–5).
+    pub feedback_social: f64,
+}
+
+/// Full study result.
+#[derive(Debug, Clone)]
+pub struct UserStudyResult {
+    /// One outcome per method.
+    pub outcomes: Vec<StudyOutcome>,
+    /// Flattened (utility, feedback) pairs across participants × methods,
+    /// for the Table VIII correlation analysis.
+    pub samples_overall: Vec<(f64, f64)>,
+    /// Preference samples.
+    pub samples_preference: Vec<(f64, f64)>,
+    /// Social-presence samples.
+    pub samples_social: Vec<(f64, f64)>,
+}
+
+/// The Table VIII correlations.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrelationTable {
+    pub pearson_preference: f64,
+    pub pearson_social: f64,
+    pub pearson_after: f64,
+    pub spearman_preference: f64,
+    pub spearman_social: f64,
+    pub spearman_after: f64,
+}
+
+impl UserStudyResult {
+    /// Computes the Table VIII correlations between utilities and feedback.
+    pub fn correlations(&self) -> CorrelationTable {
+        let split = |pairs: &[(f64, f64)]| -> (Vec<f64>, Vec<f64>) {
+            (pairs.iter().map(|p| p.0).collect(), pairs.iter().map(|p| p.1).collect())
+        };
+        let (up, fp) = split(&self.samples_preference);
+        let (us, fs) = split(&self.samples_social);
+        let (ua, fa) = split(&self.samples_overall);
+        CorrelationTable {
+            pearson_preference: pearson(&up, &fp),
+            pearson_social: pearson(&us, &fs),
+            pearson_after: pearson(&ua, &fa),
+            spearman_preference: spearman(&up, &fp),
+            spearman_social: spearman(&us, &fs),
+            spearman_after: spearman(&ua, &fa),
+        }
+    }
+}
+
+/// Saturating utility → mean-Likert response curve: 1 + 4·u/(u + c).
+fn likert_mean(utility_per_step: f64, scale: f64) -> f64 {
+    1.0 + 4.0 * utility_per_step / (utility_per_step + scale)
+}
+
+/// One noisy Likert rating clamped to the 1–5 scale.
+fn likert_sample(utility_per_step: f64, scale: f64, noise_std: f64, rng: &mut StdRng) -> f64 {
+    (likert_mean(utility_per_step, scale) + normal(rng, 0.0, noise_std)).clamp(1.0, 5.0)
+}
+
+/// Runs the simulated user study.
+pub fn run_user_study(config: &UserStudyConfig) -> UserStudyResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dataset = Dataset::generate(DatasetKind::Hubs, config.seed ^ 0xCAFE);
+
+    // One shared conferencing room whose participants are the study subjects.
+    let scenario_cfg = ScenarioConfig {
+        n_participants: config.participants,
+        vr_fraction: 0.5,
+        time_steps: config.time_steps,
+        room_side: 8.0,
+        body_radius: 0.15,
+        seed: config.seed,
+    };
+    let scenario = dataset.sample_scenario(&scenario_cfg);
+    let train_scenario =
+        dataset.sample_scenario(&ScenarioConfig { seed: config.seed ^ 0x5EED, ..scenario_cfg });
+
+    // Questionnaire-derived β per participant.
+    let betas: Vec<f64> = (0..config.participants).map(|_| rng.gen_range(0.3..0.7)).collect();
+    let contexts: Vec<TargetContext> = (0..config.participants)
+        .map(|i| TargetContext::new(&scenario, i, betas[i]))
+        .collect();
+
+    // Train POSHGNN once on the training room.
+    let train_targets: Vec<usize> = (0..4).collect();
+    let train_ctx = build_contexts(&train_scenario, &train_targets, 0.5);
+    let mut posh = PoshGnn::new(PoshGnnConfig::default());
+    posh.train(&train_ctx, config.train_epochs);
+
+    let mut mvagc = MvAgcRecommender::fit(&scenario, (config.participants / 8).max(2), 2, 5);
+    let mut grafrank = GraFrankRecommender::fit(&scenario, GraFrankConfig::default());
+    let mut comur = ComurNetRecommender::new(ComurNetConfig { rollouts: 10, ..Default::default() });
+    let mut original = RenderAllRecommender;
+
+    let steps = (config.time_steps + 1) as f64;
+    let mut outcomes = Vec::new();
+    let mut samples_overall = Vec::new();
+    let mut samples_preference = Vec::new();
+    let mut samples_social = Vec::new();
+
+    let mut methods: Vec<&mut dyn AfterRecommender> =
+        vec![&mut posh, &mut grafrank, &mut mvagc, &mut comur, &mut original];
+    for method in methods.iter_mut() {
+        let result: MethodResult = run_method(*method, &contexts);
+        let mut ratings_overall = Vec::new();
+        let mut ratings_pref = Vec::new();
+        let mut ratings_social = Vec::new();
+        for b in &result.per_target {
+            let u_step = b.after_utility / steps;
+            let p_step = b.preference / steps;
+            let s_step = b.social_presence / steps;
+            let ro = likert_sample(u_step, 2.5, config.noise_std, &mut rng);
+            let rp = likert_sample(p_step, 2.5, config.noise_std, &mut rng);
+            let rs = likert_sample(s_step, 2.5, config.noise_std, &mut rng);
+            samples_overall.push((u_step, ro));
+            samples_preference.push((p_step, rp));
+            samples_social.push((s_step, rs));
+            ratings_overall.push(ro);
+            ratings_pref.push(rp);
+            ratings_social.push(rs);
+        }
+        outcomes.push(StudyOutcome {
+            name: result.name.clone(),
+            utility_per_step: mean(
+                &result.per_target.iter().map(|b| b.after_utility / steps).collect::<Vec<_>>(),
+            ),
+            preference_per_step: mean(
+                &result.per_target.iter().map(|b| b.preference / steps).collect::<Vec<_>>(),
+            ),
+            social_presence_per_step: mean(
+                &result.per_target.iter().map(|b| b.social_presence / steps).collect::<Vec<_>>(),
+            ),
+            feedback_overall: mean(&ratings_overall),
+            feedback_preference: mean(&ratings_pref),
+            feedback_social: mean(&ratings_social),
+        });
+    }
+
+    UserStudyResult { outcomes, samples_overall, samples_preference, samples_social }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> UserStudyConfig {
+        UserStudyConfig { participants: 8, time_steps: 6, train_epochs: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn likert_curve_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..20 {
+            let u = i as f64 * 0.2;
+            let l = likert_mean(u, 0.8);
+            assert!(l >= prev, "non-monotone at {u}");
+            assert!((1.0..=5.0).contains(&l));
+            prev = l;
+        }
+        assert_eq!(likert_mean(0.0, 0.8), 1.0);
+    }
+
+    #[test]
+    fn study_produces_five_methods() {
+        let result = run_user_study(&tiny());
+        let names: Vec<&str> = result.outcomes.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["POSHGNN", "GraFrank", "MvAGC", "COMURNet", "Original"]);
+        assert_eq!(result.samples_overall.len(), 5 * 8);
+        for o in &result.outcomes {
+            assert!((1.0..=5.0).contains(&o.feedback_overall), "{:?}", o);
+            assert!(o.utility_per_step.is_finite());
+        }
+    }
+
+    #[test]
+    fn feedback_correlates_with_utility() {
+        let result = run_user_study(&UserStudyConfig { participants: 12, time_steps: 8, train_epochs: 3, ..Default::default() });
+        let corr = result.correlations();
+        assert!(corr.pearson_after > 0.5, "Pearson too low: {}", corr.pearson_after);
+        assert!(corr.spearman_after > 0.4, "Spearman too low: {}", corr.spearman_after);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = run_user_study(&tiny());
+        let b = run_user_study(&tiny());
+        for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
+            assert_eq!(x.feedback_overall, y.feedback_overall);
+            assert_eq!(x.utility_per_step, y.utility_per_step);
+        }
+    }
+}

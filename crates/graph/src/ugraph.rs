@@ -1,0 +1,221 @@
+//! Simple undirected graph used by occlusion graphs, GIGs, and MWIS solvers.
+
+use std::collections::BTreeSet;
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// Edges are stored both as a sorted edge set (for deterministic iteration
+/// and O(log m) membership tests) and as adjacency lists (for traversal).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UGraph {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl UGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        UGraph { n, edges: BTreeSet::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from an edge list; duplicate edges and self-loops are
+    /// ignored.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = UGraph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge; self-loops and duplicates are ignored.
+    /// Returns `true` when the edge was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either endpoint is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range (n={})", self.n);
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        if self.edges.insert(key) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` when `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a != b && self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Iterator over edges as `(min, max)` pairs in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Dense row-major adjacency matrix (`n*n` entries of 0.0/1.0).
+    pub fn adjacency_rowmajor(&self) -> Vec<f64> {
+        let mut a = vec![0.0; self.n * self.n];
+        for &(u, v) in &self.edges {
+            a[u * self.n + v] = 1.0;
+            a[v * self.n + u] = 1.0;
+        }
+        a
+    }
+
+    /// `true` when `set` is an independent set (no two members adjacent).
+    pub fn is_independent_set(&self, set: &[usize]) -> bool {
+        for (i, &u) in set.iter().enumerate() {
+            for &v in &set[i + 1..] {
+                if self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of edges whose endpoints are both in `set` (0 iff independent).
+    pub fn conflict_count(&self, in_set: &[bool]) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| in_set[u] && in_set[v])
+            .count()
+    }
+
+    /// Connected components, each a sorted node list, ordered by smallest node.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for start in 0..self.n {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// BFS distances from `src` (`usize::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> UGraph {
+        UGraph::from_edges(3, [(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn add_edge_dedups_and_rejects_loops() {
+        let mut g = UGraph::new(3);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert!(!g.add_edge(2, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = path3();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric_zero_diagonal() {
+        let g = path3();
+        let a = g.adjacency_rowmajor();
+        for i in 0..3 {
+            assert_eq!(a[i * 3 + i], 0.0);
+            for j in 0..3 {
+                assert_eq!(a[i * 3 + j], a[j * 3 + i]);
+            }
+        }
+        assert_eq!(a.iter().sum::<f64>(), 4.0); // 2 edges × 2 entries
+    }
+
+    #[test]
+    fn independence_checks() {
+        let g = path3();
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(!g.is_independent_set(&[0, 1]));
+        assert!(g.is_independent_set(&[]));
+        assert_eq!(g.conflict_count(&[true, true, true]), 2);
+        assert_eq!(g.conflict_count(&[true, false, true]), 0);
+    }
+
+    #[test]
+    fn components_and_bfs() {
+        let g = UGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        UGraph::new(2).add_edge(0, 5);
+    }
+}

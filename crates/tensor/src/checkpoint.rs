@@ -1,0 +1,237 @@
+//! Checkpointing: save/load a [`ParamStore`]'s parameters to a simple
+//! self-describing text format.
+//!
+//! Format (line-oriented, UTF-8):
+//!
+//! ```text
+//! xr-tensor-checkpoint v1
+//! param <name> <rows> <cols>
+//! <rows·cols whitespace-separated f64 values (one row per line)>
+//! ...
+//! ```
+//!
+//! Values round-trip exactly through Rust's shortest-representation float
+//! formatting. Loading validates names and shapes against the receiving
+//! store, so a checkpoint can only be restored into an architecturally
+//! identical model.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::tape::ParamStore;
+
+/// Error from checkpoint loading.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Structural mismatch or parse failure.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+const HEADER: &str = "xr-tensor-checkpoint v1";
+
+/// Serializes all parameters of `store` into the checkpoint text format.
+pub fn to_string(store: &ParamStore) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for id in store.ids() {
+        let value = store.value(id);
+        let (rows, cols) = value.shape();
+        writeln!(out, "param {} {} {}", store.name(id), rows, cols).unwrap();
+        for r in 0..rows {
+            let row: Vec<String> = value.row(r).iter().map(|x| format!("{x:?}")).collect();
+            out.push_str(&row.join(" "));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes a checkpoint file.
+pub fn save(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    std::fs::write(path, to_string(store))?;
+    Ok(())
+}
+
+/// Restores parameters from checkpoint text into `store`, validating names
+/// and shapes.
+pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        other => {
+            return Err(CheckpointError::Format(format!(
+                "bad header: {other:?} (expected {HEADER:?})"
+            )))
+        }
+    }
+
+    let ids: Vec<_> = store.ids().collect();
+    let mut new_values: Vec<Matrix> = Vec::with_capacity(ids.len());
+
+    for &id in &ids {
+        let expected_name = store.name(id).to_string();
+        let (rows, cols) = store.value(id).shape();
+        let decl = lines
+            .next()
+            .ok_or_else(|| CheckpointError::Format(format!("missing declaration for {expected_name}")))?;
+        let parts: Vec<&str> = decl.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "param" {
+            return Err(CheckpointError::Format(format!("bad declaration line: {decl:?}")));
+        }
+        if parts[1] != expected_name {
+            return Err(CheckpointError::Format(format!(
+                "parameter name mismatch: checkpoint has {:?}, model expects {:?}",
+                parts[1], expected_name
+            )));
+        }
+        let (r, c): (usize, usize) = (
+            parts[2].parse().map_err(|_| CheckpointError::Format("bad rows".into()))?,
+            parts[3].parse().map_err(|_| CheckpointError::Format("bad cols".into()))?,
+        );
+        if (r, c) != (rows, cols) {
+            return Err(CheckpointError::Format(format!(
+                "shape mismatch for {expected_name}: checkpoint {r}x{c}, model {rows}x{cols}"
+            )));
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for row_idx in 0..rows {
+            let line = lines.next().ok_or_else(|| {
+                CheckpointError::Format(format!("missing row {row_idx} of {expected_name}"))
+            })?;
+            for token in line.split_whitespace() {
+                let v: f64 = token.parse().map_err(|_| {
+                    CheckpointError::Format(format!("bad value {token:?} in {expected_name}"))
+                })?;
+                data.push(v);
+            }
+        }
+        if data.len() != rows * cols {
+            return Err(CheckpointError::Format(format!(
+                "wrong value count for {expected_name}: got {}, expected {}",
+                data.len(),
+                rows * cols
+            )));
+        }
+        new_values
+            .push(Matrix::from_vec(rows, cols, data).expect("validated shape"));
+    }
+
+    // commit only after everything validated
+    for (id, value) in ids.into_iter().zip(new_values) {
+        *store.value_mut(id) = value;
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint file into `store`.
+pub fn load(store: &mut ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    from_string(store, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        store.register("layer.weight", Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64 * 0.1 - 0.25));
+        store.register("layer.bias", Matrix::from_fn(1, 3, |_, c| -(c as f64) / 7.0));
+        store
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let store = sample_store();
+        let text = to_string(&store);
+        let mut restored = sample_store();
+        restored.value_mut(restored.ids().next().unwrap()).fill(9.0);
+        from_string(&mut restored, &text).unwrap();
+        for (a, b) in store.ids().zip(restored.ids()) {
+            assert_eq!(store.value(a).as_slice(), restored.value(b).as_slice());
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("xr_tensor_ckpt_test.txt");
+        save(&store, &path).unwrap();
+        let mut restored = sample_store();
+        restored.value_mut(restored.ids().next().unwrap()).fill(0.0);
+        load(&mut restored, &path).unwrap();
+        assert_eq!(
+            store.value(store.ids().next().unwrap()).as_slice(),
+            restored.value(restored.ids().next().unwrap()).as_slice()
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn extreme_values_survive() {
+        let mut store = ParamStore::new();
+        store.register(
+            "w",
+            Matrix::from_vec(1, 4, vec![1e-300, -1e300, std::f64::consts::PI, 0.1 + 0.2]).unwrap(),
+        );
+        let text = to_string(&store);
+        let mut restored = ParamStore::new();
+        restored.register("w", Matrix::zeros(1, 4));
+        from_string(&mut restored, &text).unwrap();
+        assert_eq!(
+            store.value(store.ids().next().unwrap()).as_slice(),
+            restored.value(restored.ids().next().unwrap()).as_slice()
+        );
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let mut store = sample_store();
+        let err = from_string(&mut store, "not a checkpoint\n").unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_without_partial_write() {
+        let store = sample_store();
+        let text = to_string(&store);
+        // receiving store with different shape
+        let mut other = ParamStore::new();
+        other.register("layer.weight", Matrix::zeros(9, 9));
+        other.register("layer.bias", Matrix::zeros(1, 3));
+        let before = other.export_flat();
+        assert!(from_string(&mut other, &text).is_err());
+        assert_eq!(other.export_flat(), before, "partial write on failure");
+    }
+
+    #[test]
+    fn name_mismatch_is_rejected() {
+        let store = sample_store();
+        let text = to_string(&store);
+        let mut other = ParamStore::new();
+        other.register("different.name", Matrix::zeros(2, 3));
+        other.register("layer.bias", Matrix::zeros(1, 3));
+        assert!(from_string(&mut other, &text).is_err());
+    }
+}

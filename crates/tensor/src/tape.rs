@@ -1,0 +1,757 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The engine is define-by-run: a [`Tape`] records every operation performed
+//! on [`Var`] handles during a forward pass, and [`Var::backward`] replays the
+//! tape in reverse, accumulating gradients into a [`ParamStore`]. Trainable
+//! parameters live in the store (not on the tape) so they persist across
+//! forward passes; a fresh tape is built per training step (or per BPTT
+//! window — a single tape may span many time steps, which is how the POSHGNN
+//! trainer backpropagates through its recurrent preservation gate).
+//!
+//! Node ids are assigned in creation order, so the id order is already a
+//! topological order of the computation graph and the backward pass is a
+//! simple reverse iteration.
+
+use std::cell::RefCell;
+
+use crate::matrix::Matrix;
+
+/// Identifier of a trainable parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Slot {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+    /// Adam first-moment accumulator.
+    m: Matrix,
+    /// Adam second-moment accumulator.
+    v: Matrix,
+}
+
+/// Storage for trainable parameters and their gradient/optimizer state.
+#[derive(Default)]
+pub struct ParamStore {
+    slots: Vec<Slot>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new parameter initialized to `value`.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.slots.push(Slot {
+            name: name.into(),
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+            value,
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access to a parameter value (e.g. for manual initialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.slots[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].grad
+    }
+
+    /// Registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.fill(0.0);
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn grad_norm(&self) -> f64 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let n = s.grad.frobenius_norm();
+                n * n
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Rescales all gradients so the global norm does not exceed `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f64) -> f64 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let k = max_norm / norm;
+            for s in &mut self.slots {
+                let scaled = s.grad.scale(k);
+                s.grad = scaled;
+            }
+        }
+        norm
+    }
+
+    pub(crate) fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.slots[id.0].grad.add_assign(g);
+    }
+
+    pub(crate) fn adam_state(&mut self, id: ParamId) -> (&mut Matrix, &mut Matrix, &mut Matrix, &Matrix) {
+        let s = &mut self.slots[id.0];
+        (&mut s.value, &mut s.m, &mut s.v, &s.grad)
+    }
+
+    pub(crate) fn sgd_step_slot(&mut self, id: ParamId, lr: f64) {
+        let s = &mut self.slots[id.0];
+        let g = s.grad.clone();
+        s.value.add_scaled(&g, -lr);
+    }
+
+    /// Iterator over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Serializes all parameter values into a flat vector (for checkpointing).
+    pub fn export_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.scalar_count());
+        for s in &self.slots {
+            out.extend_from_slice(s.value.as_slice());
+        }
+        out
+    }
+
+    /// Restores parameter values from a flat vector produced by
+    /// [`ParamStore::export_flat`]. Returns `false` when the length mismatches.
+    pub fn import_flat(&mut self, flat: &[f64]) -> bool {
+        if flat.len() != self.scalar_count() {
+            return false;
+        }
+        let mut offset = 0;
+        for s in &mut self.slots {
+            let n = s.value.len();
+            s.value
+                .as_mut_slice()
+                .copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+        true
+    }
+}
+
+enum Op {
+    /// Leaf with no gradient flow.
+    Const,
+    /// Leaf that routes gradients into a [`ParamStore`] slot.
+    Param(ParamId),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Hadamard(usize, usize),
+    MatMul(usize, usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    Relu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Ln(usize),
+    Exp(usize),
+    Sum(usize),
+    Mean(usize),
+    Transpose(usize),
+    /// Horizontal concatenation; stores the source ids and their widths.
+    ConcatCols(Vec<(usize, usize)>),
+    /// `a (R×C) + broadcast(b (1×C))`.
+    RowBroadcastAdd(usize, usize),
+    /// Complement `1 - a`.
+    OneMinus(usize),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Records a computation graph for reverse-mode differentiation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// A fresh, empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` when no nodes are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    fn push(&self, value: Matrix, op: Op) -> Var<'_> {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node { value, op });
+        Var { tape: self, id: nodes.len() - 1 }
+    }
+
+    /// Records a constant leaf (no gradient flows into it).
+    pub fn constant(&self, value: Matrix) -> Var<'_> {
+        self.push(value, Op::Const)
+    }
+
+    /// Records a parameter leaf; gradients accumulate into `store` on
+    /// [`Var::backward`].
+    pub fn param<'t>(&'t self, store: &ParamStore, id: ParamId) -> Var<'t> {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Horizontal concatenation of several vars with equal row counts.
+    pub fn concat_cols<'t>(&'t self, parts: &[Var<'t>]) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let (value, meta) = {
+            let nodes = self.nodes.borrow();
+            let mats: Vec<&Matrix> = parts.iter().map(|v| &nodes[v.id].value).collect();
+            let meta: Vec<(usize, usize)> =
+                parts.iter().map(|v| (v.id, nodes[v.id].value.cols())).collect();
+            (Matrix::concat_cols_all(&mats), meta)
+        };
+        self.push(value, Op::ConcatCols(meta))
+    }
+
+    fn unary(&self, a: Var<'_>, f: impl FnOnce(&Matrix) -> Matrix, op: impl FnOnce(usize) -> Op) -> Var<'_> {
+        let value = f(&self.nodes.borrow()[a.id].value);
+        self.push(value, op(a.id))
+    }
+
+    fn binary(
+        &self,
+        a: Var<'_>,
+        b: Var<'_>,
+        f: impl FnOnce(&Matrix, &Matrix) -> Matrix,
+        op: impl FnOnce(usize, usize) -> Op,
+    ) -> Var<'_> {
+        let value = {
+            let nodes = self.nodes.borrow();
+            f(&nodes[a.id].value, &nodes[b.id].value)
+        };
+        self.push(value, op(a.id, b.id))
+    }
+}
+
+/// Handle to a node on a [`Tape`].
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl<'t> Var<'t> {
+    /// A snapshot of this node's value.
+    pub fn value(&self) -> Matrix {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// Shape of this node's value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.nodes.borrow()[self.id].value.shape()
+    }
+
+    /// Scalar value of a `1×1` node.
+    pub fn scalar(&self) -> f64 {
+        let nodes = self.tape.nodes.borrow();
+        let v = &nodes[self.id].value;
+        assert_eq!(v.shape(), (1, 1), "scalar() on non-scalar node");
+        v[(0, 0)]
+    }
+
+    /// Matrix product.
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(self, rhs, |a, b| a.matmul(b), Op::MatMul)
+    }
+
+    /// ReLU activation.
+    pub fn relu(self) -> Var<'t> {
+        self.tape
+            .unary(self, |a| a.map(|x| if x > 0.0 { x } else { 0.0 }), Op::Relu)
+    }
+
+    /// Logistic sigmoid activation.
+    pub fn sigmoid(self) -> Var<'t> {
+        self.tape
+            .unary(self, |a| a.map(|x| 1.0 / (1.0 + (-x).exp())), Op::Sigmoid)
+    }
+
+    /// Hyperbolic tangent activation.
+    pub fn tanh(self) -> Var<'t> {
+        self.tape.unary(self, |a| a.map(f64::tanh), Op::Tanh)
+    }
+
+    /// Natural logarithm, entry-wise. Inputs must be positive.
+    pub fn ln(self) -> Var<'t> {
+        self.tape.unary(self, |a| a.map(f64::ln), Op::Ln)
+    }
+
+    /// Exponential, entry-wise.
+    pub fn exp(self) -> Var<'t> {
+        self.tape.unary(self, |a| a.map(f64::exp), Op::Exp)
+    }
+
+    /// Sum of all entries as a `1×1` node.
+    pub fn sum(self) -> Var<'t> {
+        self.tape
+            .unary(self, |a| Matrix::from_vec(1, 1, vec![a.sum()]).unwrap(), Op::Sum)
+    }
+
+    /// Mean of all entries as a `1×1` node.
+    pub fn mean(self) -> Var<'t> {
+        self.tape
+            .unary(self, |a| Matrix::from_vec(1, 1, vec![a.mean()]).unwrap(), Op::Mean)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(self, k: f64) -> Var<'t> {
+        self.tape.unary(self, |a| a.scale(k), |id| Op::Scale(id, k))
+    }
+
+    /// Adds a scalar constant to every entry (no gradient w.r.t. the scalar).
+    pub fn add_scalar(self, k: f64) -> Var<'t> {
+        self.tape.unary(self, |a| a.map(|x| x + k), Op::AddScalar)
+    }
+
+    /// `1 - self`, entry-wise.
+    pub fn one_minus(self) -> Var<'t> {
+        self.tape.unary(self, |a| a.map(|x| 1.0 - x), Op::OneMinus)
+    }
+
+    /// Transpose.
+    pub fn t(self) -> Var<'t> {
+        self.tape.unary(self, Matrix::transpose, Op::Transpose)
+    }
+
+    /// Adds a `1×C` bias row to every row of an `R×C` matrix.
+    pub fn add_row_broadcast(self, bias: Var<'t>) -> Var<'t> {
+        self.tape.binary(
+            self,
+            bias,
+            |a, b| {
+                assert_eq!(b.rows(), 1, "bias must be a row vector");
+                assert_eq!(a.cols(), b.cols(), "bias width mismatch");
+                let mut out = a.clone();
+                for r in 0..out.rows() {
+                    for c in 0..out.cols() {
+                        out[(r, c)] += b[(0, c)];
+                    }
+                }
+                out
+            },
+            Op::RowBroadcastAdd,
+        )
+    }
+
+    /// Runs the backward pass from this scalar node, accumulating parameter
+    /// gradients into `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-`1×1` node.
+    pub fn backward(self, store: &mut ParamStore) {
+        let nodes = self.tape.nodes.borrow();
+        assert_eq!(
+            nodes[self.id].value.shape(),
+            (1, 1),
+            "backward() must start from a scalar loss node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
+        grads[self.id] = Some(Matrix::ones(1, 1));
+
+        for id in (0..=self.id).rev() {
+            let g = match grads[id].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &nodes[id];
+            match &node.op {
+                Op::Const => {}
+                Op::Param(pid) => store.accumulate_grad(*pid, &g),
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, &g, &nodes);
+                    accumulate(&mut grads, *b, &g, &nodes);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, &g, &nodes);
+                    let neg = g.scale(-1.0);
+                    accumulate(&mut grads, *b, &neg, &nodes);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(&nodes[*b].value);
+                    let gb = g.hadamard(&nodes[*a].value);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                    accumulate(&mut grads, *b, &gb, &nodes);
+                }
+                Op::MatMul(a, b) => {
+                    // Skip the (potentially N×N) gradient products entirely
+                    // when the parent is a constant.
+                    if !matches!(nodes[*a].op, Op::Const) {
+                        let ga = g.matmul(&nodes[*b].value.transpose());
+                        accumulate(&mut grads, *a, &ga, &nodes);
+                    }
+                    if !matches!(nodes[*b].op, Op::Const) {
+                        let gb = nodes[*a].value.transpose().matmul(&g);
+                        accumulate(&mut grads, *b, &gb, &nodes);
+                    }
+                }
+                Op::Scale(a, k) => {
+                    let ga = g.scale(*k);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::AddScalar(a) => accumulate(&mut grads, *a, &g, &nodes),
+                Op::OneMinus(a) => {
+                    let ga = g.scale(-1.0);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Relu(a) => {
+                    let ga = g.zip_with(&nodes[*a].value, |gi, x| if x > 0.0 { gi } else { 0.0 });
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &node.value;
+                    let ga = g.zip_with(y, |gi, yi| gi * yi * (1.0 - yi));
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Tanh(a) => {
+                    let y = &node.value;
+                    let ga = g.zip_with(y, |gi, yi| gi * (1.0 - yi * yi));
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Ln(a) => {
+                    let ga = g.zip_with(&nodes[*a].value, |gi, x| gi / x);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Exp(a) => {
+                    let y = &node.value;
+                    let ga = g.zip_with(y, |gi, yi| gi * yi);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Sum(a) => {
+                    let (r, c) = nodes[*a].value.shape();
+                    let ga = Matrix::full(r, c, g[(0, 0)]);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Mean(a) => {
+                    let (r, c) = nodes[*a].value.shape();
+                    let n = (r * c).max(1) as f64;
+                    let ga = Matrix::full(r, c, g[(0, 0)] / n);
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::Transpose(a) => {
+                    let ga = g.transpose();
+                    accumulate(&mut grads, *a, &ga, &nodes);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for (src, width) in parts {
+                        let slice = g.slice_cols(offset, *width);
+                        accumulate(&mut grads, *src, &slice, &nodes);
+                        offset += width;
+                    }
+                }
+                Op::RowBroadcastAdd(a, b) => {
+                    accumulate(&mut grads, *a, &g, &nodes);
+                    // bias gradient: column-wise sum collapsed to one row.
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            gb[(0, c)] += g[(r, c)];
+                        }
+                    }
+                    accumulate(&mut grads, *b, &gb, &nodes);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], id: usize, g: &Matrix, nodes: &[Node]) {
+    // Constants never need gradients; skipping them avoids materializing
+    // N×N gradient matrices for adjacency constants during BPTT.
+    if matches!(nodes[id].op, Op::Const) {
+        return;
+    }
+    debug_assert_eq!(
+        nodes[id].value.shape(),
+        g.shape(),
+        "gradient shape mismatch at node {id}"
+    );
+    match &mut grads[id] {
+        Some(existing) => existing.add_assign(g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+impl<'t> std::ops::Add for Var<'t> {
+    type Output = Var<'t>;
+
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(self, rhs, |a, b| a.add(b), Op::Add)
+    }
+}
+
+impl<'t> std::ops::Sub for Var<'t> {
+    type Output = Var<'t>;
+
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(self, rhs, |a, b| a.sub(b), Op::Sub)
+    }
+}
+
+impl<'t> std::ops::Mul for Var<'t> {
+    type Output = Var<'t>;
+
+    /// Hadamard (entry-wise) product.
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.binary(self, rhs, |a, b| a.hadamard(b), Op::Hadamard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(tape: &Tape, x: f64) -> Var<'_> {
+        tape.constant(Matrix::from_vec(1, 1, vec![x]).unwrap())
+    }
+
+    #[test]
+    fn add_mul_gradients() {
+        // f(w) = sum(w * c + w), df/dw = c + 1
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![2.0, -3.0]).unwrap());
+        let tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let c = tape.constant(Matrix::from_vec(1, 2, vec![5.0, 7.0]).unwrap());
+        let loss = (wv * c + wv).sum();
+        assert_eq!(loss.scalar(), 2.0 * 5.0 + 2.0 + (-3.0 * 7.0) + (-3.0));
+        loss.backward(&mut store);
+        assert!(store
+            .grad(w)
+            .approx_eq(&Matrix::from_vec(1, 2, vec![6.0, 8.0]).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        // f = sum(A·W), dW = Aᵀ·1
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap());
+        let tape = Tape::new();
+        let a = tape.constant(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        let wv = tape.param(&store, w);
+        let loss = a.matmul(wv).sum();
+        loss.backward(&mut store);
+        // Aᵀ·ones(2,2) = [[4,4],[6,6]]
+        assert!(store
+            .grad(w)
+            .approx_eq(&Matrix::from_vec(2, 2, vec![4.0, 4.0, 6.0, 6.0]).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn sigmoid_gradient_at_zero_is_quarter() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 1));
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).sigmoid().sum();
+        assert!((loss.scalar() - 0.5).abs() < 1e-12);
+        loss.backward(&mut store);
+        assert!((store.grad(w)[(0, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relu_blocks_negative_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 2, vec![3.0, -3.0]).unwrap());
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).relu().sum();
+        loss.backward(&mut store);
+        assert!(store
+            .grad(w)
+            .approx_eq(&Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_vec(1, 1, vec![0.5]).unwrap());
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).tanh().sum();
+        loss.backward(&mut store);
+        let expected = 1.0 - 0.5_f64.tanh().powi(2);
+        assert!((store.grad(w)[(0, 0)] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // f = sum(w + w), df/dw = 2
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::ones(2, 2));
+        let tape = Tape::new();
+        let wv = tape.param(&store, w);
+        let loss = (wv + wv).sum();
+        loss.backward(&mut store);
+        assert!(store.grad(w).approx_eq(&Matrix::full(2, 2, 2.0), 0.0));
+    }
+
+    #[test]
+    fn concat_routes_gradients_to_sources() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::ones(2, 2));
+        let b = store.register("b", Matrix::ones(2, 3));
+        let tape = Tape::new();
+        let av = tape.param(&store, a);
+        let bv = tape.param(&store, b);
+        let cat = tape.concat_cols(&[av, bv]);
+        assert_eq!(cat.shape(), (2, 5));
+        // weight the two halves differently so routing errors are visible
+        let mask = tape.constant(Matrix::from_fn(2, 5, |_, c| if c < 2 { 2.0 } else { 3.0 }));
+        let loss = (cat * mask).sum();
+        loss.backward(&mut store);
+        assert!(store.grad(a).approx_eq(&Matrix::full(2, 2, 2.0), 0.0));
+        assert!(store.grad(b).approx_eq(&Matrix::full(2, 3, 3.0), 0.0));
+    }
+
+    #[test]
+    fn quadratic_form_gradient() {
+        // f = rᵀ A r, df/dr = (A + Aᵀ) r
+        let mut store = ParamStore::new();
+        let r = store.register("r", Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap());
+        let a_mat = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let tape = Tape::new();
+        let rv = tape.param(&store, r);
+        let a = tape.constant(a_mat.clone());
+        let loss = rv.t().matmul(a).matmul(rv).sum();
+        assert_eq!(loss.scalar(), 4.0); // 2 * r0 * r1
+        loss.backward(&mut store);
+        let expected = a_mat.add(&a_mat.transpose()).matmul(store.value(r));
+        assert!(store.grad(r).approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn row_broadcast_bias_gradient_sums_rows() {
+        let mut store = ParamStore::new();
+        let b = store.register("b", Matrix::zeros(1, 3));
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::ones(4, 3));
+        let bias = tape.param(&store, b);
+        let loss = x.add_row_broadcast(bias).sum();
+        loss.backward(&mut store);
+        assert!(store.grad(b).approx_eq(&Matrix::full(1, 3, 4.0), 0.0));
+    }
+
+    #[test]
+    fn one_minus_and_scale() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 0.3));
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).one_minus().scale(5.0).sum();
+        assert!((loss.scalar() - 3.5).abs() < 1e-12);
+        loss.backward(&mut store);
+        assert!((store.grad(w)[(0, 0)] + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_ignores_constants() {
+        let mut store = ParamStore::new();
+        let tape = Tape::new();
+        let loss = (scalar(&tape, 2.0) * scalar(&tape, 3.0)).sum();
+        loss.backward(&mut store); // must not panic with empty store
+        assert_eq!(loss.scalar(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_from_non_scalar_panics() {
+        let mut store = ParamStore::new();
+        let tape = Tape::new();
+        let v = tape.constant(Matrix::ones(2, 2));
+        v.backward(&mut store);
+    }
+
+    #[test]
+    fn ln_and_exp_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 2.0));
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).ln().sum();
+        assert!((loss.scalar() - 2.0_f64.ln()).abs() < 1e-12);
+        loss.backward(&mut store);
+        assert!((store.grad(w)[(0, 0)] - 0.5).abs() < 1e-12);
+
+        let mut store2 = ParamStore::new();
+        let v = store2.register("v", Matrix::full(1, 1, 1.5));
+        let tape2 = Tape::new();
+        let loss2 = tape2.param(&store2, v).exp().sum();
+        loss2.backward(&mut store2);
+        assert!((store2.grad(v)[(0, 0)] - 1.5_f64.exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn export_import_flat_round_trips() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::from_vec(1, 2, vec![1.0, 2.0]).unwrap());
+        let b = store.register("b", Matrix::from_vec(2, 1, vec![3.0, 4.0]).unwrap());
+        let flat = store.export_flat();
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
+        store.value_mut(a).fill(0.0);
+        store.value_mut(b).fill(0.0);
+        assert!(store.import_flat(&flat));
+        assert_eq!(store.value(a).as_slice(), &[1.0, 2.0]);
+        assert_eq!(store.value(b).as_slice(), &[3.0, 4.0]);
+        assert!(!store.import_flat(&[1.0]));
+    }
+
+    #[test]
+    fn grad_clipping_bounds_global_norm() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::zeros(1, 2));
+        let tape = Tape::new();
+        let loss = tape.param(&store, w).scale(100.0).sum();
+        loss.backward(&mut store);
+        let pre = store.clip_grad_norm(1.0);
+        assert!(pre > 100.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-9);
+    }
+}

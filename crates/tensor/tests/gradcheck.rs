@@ -1,0 +1,112 @@
+//! Property-based finite-difference gradient checks for the autodiff engine.
+//!
+//! For randomly generated parameter values the analytic gradient produced by
+//! the tape must match a central finite difference of the loss.
+
+use proptest::prelude::*;
+use xr_tensor::{Matrix, ParamStore, Tape};
+
+/// Computes loss and analytic gradient for a loss builder `f`, then compares
+/// every partial derivative against a central finite difference.
+fn check_gradient(
+    values: &[f64],
+    rows: usize,
+    cols: usize,
+    f: impl for<'a> Fn(&'a Tape, xr_tensor::Var<'a>) -> xr_tensor::Var<'a>,
+) {
+    let mut store = ParamStore::new();
+    let w = store.register("w", Matrix::from_vec(rows, cols, values.to_vec()).unwrap());
+
+    let tape = Tape::new();
+    let loss = f(&tape, tape.param(&store, w));
+    loss.backward(&mut store);
+    let analytic = store.grad(w).clone();
+
+    let eps = 1e-5;
+    for i in 0..values.len() {
+        let eval = |delta: f64| {
+            let mut vals = values.to_vec();
+            vals[i] += delta;
+            let mut s = ParamStore::new();
+            let p = s.register("w", Matrix::from_vec(rows, cols, vals).unwrap());
+            let t = Tape::new();
+            f(&t, t.param(&s, p)).scalar()
+        };
+        let numeric = (eval(eps) - eval(-eps)) / (2.0 * eps);
+        let a = analytic.as_slice()[i];
+        let denom = 1.0_f64.max(a.abs()).max(numeric.abs());
+        assert!(
+            (a - numeric).abs() / denom < 1e-5,
+            "grad mismatch at {i}: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grad_of_sigmoid_weighted_sum(vals in proptest::collection::vec(-3.0_f64..3.0, 6)) {
+        check_gradient(&vals, 2, 3, |tape, w| {
+            let c = tape.constant(Matrix::from_fn(2, 3, |r, c| (r + c) as f64 * 0.5 + 0.1));
+            (w.sigmoid() * c).sum()
+        });
+    }
+
+    #[test]
+    fn grad_of_tanh_chain(vals in proptest::collection::vec(-2.0_f64..2.0, 4)) {
+        check_gradient(&vals, 2, 2, |tape, w| {
+            let a = tape.constant(Matrix::from_fn(2, 2, |r, c| 1.0 + (r * 2 + c) as f64));
+            a.matmul(w).tanh().sum()
+        });
+    }
+
+    #[test]
+    fn grad_of_quadratic_form(vals in proptest::collection::vec(-2.0_f64..2.0, 3)) {
+        check_gradient(&vals, 3, 1, |tape, r| {
+            // symmetric adjacency-like constant
+            let a = tape.constant(Matrix::from_fn(3, 3, |i, j| if i == j { 0.0 } else { 1.0 }));
+            r.t().matmul(a).matmul(r).sum()
+        });
+    }
+
+    #[test]
+    fn grad_of_gate_expression(vals in proptest::collection::vec(0.05_f64..0.95, 4)) {
+        // Mimics the POSHGNN preservation gate: (1-σ)⊗r̃ + σ⊗r_prev.
+        check_gradient(&vals, 4, 1, |tape, sigma| {
+            let r_tilde = tape.constant(Matrix::from_fn(4, 1, |r, _| 0.2 + 0.1 * r as f64));
+            let r_prev = tape.constant(Matrix::from_fn(4, 1, |r, _| 0.9 - 0.15 * r as f64));
+            let gated = sigma.sigmoid().one_minus() * r_tilde + sigma.sigmoid() * r_prev;
+            let weight = tape.constant(Matrix::from_fn(4, 1, |r, _| 1.0 + r as f64));
+            (gated * weight).sum()
+        });
+    }
+
+    #[test]
+    fn grad_of_mean_relu(vals in proptest::collection::vec(-3.0_f64..3.0, 6)) {
+        // Values away from the ReLU kink (finite differences are invalid at 0).
+        let shifted: Vec<f64> = vals.iter().map(|v| if v.abs() < 0.1 { v + 0.2 } else { *v }).collect();
+        check_gradient(&shifted, 3, 2, |tape, w| {
+            let m = tape.constant(Matrix::from_fn(3, 2, |r, c| 0.3 * (r as f64) - 0.7 * c as f64 + 0.5));
+            (w.relu() * m).mean()
+        });
+    }
+
+    #[test]
+    fn grad_through_concat(vals in proptest::collection::vec(-1.0_f64..1.0, 4)) {
+        check_gradient(&vals, 2, 2, |tape, w| {
+            let other = tape.constant(Matrix::ones(2, 3));
+            let cat = tape.concat_cols(&[w, other]);
+            let mix = tape.constant(Matrix::from_fn(2, 5, |r, c| (r + 1) as f64 * 0.2 + c as f64 * 0.1));
+            (cat * mix).sum()
+        });
+    }
+
+    #[test]
+    fn grad_through_broadcast_bias(vals in proptest::collection::vec(-1.0_f64..1.0, 3)) {
+        check_gradient(&vals, 1, 3, |tape, b| {
+            let x = tape.constant(Matrix::from_fn(4, 3, |r, c| (r as f64) * 0.5 - c as f64 * 0.25));
+            x.add_row_broadcast(b).sigmoid().sum()
+        });
+    }
+}

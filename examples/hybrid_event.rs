@@ -1,0 +1,69 @@
+//! Hybrid participation (the paper's P4): how the MR/VR mix changes what an
+//! AFTER recommender can deliver. Physically present MR participants force
+//! themselves onto co-located users' viewports and physically occlude
+//! recommendation candidates; remote VR users can be rendered or hidden at
+//! will. This example sweeps the VR proportion and reports POSHGNN's
+//! delivered utility plus the size of the hybrid-participation candidate
+//! mask `m_t`.
+//!
+//! Run with: `cargo run --release --example hybrid_event`
+
+use after_xr::poshgnn::{PoshGnn, PoshGnnConfig, TargetContext};
+use after_xr::xr_datasets::{Dataset, DatasetKind, Interface, ScenarioConfig};
+use after_xr::xr_eval::{build_contexts, pick_targets, run_method};
+
+fn main() {
+    let dataset = Dataset::generate(DatasetKind::Smm, 21);
+    println!("sweeping the share of remote (VR) participants in an 80-person hybrid event\n");
+    println!(
+        "{:>8}{:>16}{:>14}{:>16}{:>22}",
+        "VR %", "AFTER utility", "preference", "social pres.", "mean candidates m_t"
+    );
+
+    for vr in [0.25, 0.5, 0.75] {
+        let cfg = ScenarioConfig {
+            n_participants: 80,
+            vr_fraction: vr,
+            time_steps: 50,
+            seed: 3001,
+            ..Default::default()
+        };
+        let test_scenario = dataset.sample_scenario(&cfg);
+        let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 4001, ..cfg });
+
+        // evaluate from the perspective of MR targets — they are the ones
+        // whose candidate pool shrinks when the room is full of bodies
+        let mr_targets: Vec<usize> = (0..test_scenario.n())
+            .filter(|&v| test_scenario.interfaces[v] == Interface::Mr)
+            .take(3)
+            .collect();
+        let test_ctx = build_contexts(&test_scenario, &mr_targets, 0.5);
+        let train_ctx = build_contexts(&train_scenario, &pick_targets(&train_scenario, 3, 9), 0.5);
+
+        let mut model = PoshGnn::new(PoshGnnConfig::default());
+        model.train(&train_ctx, 50);
+        let result = run_method(&mut model, &test_ctx);
+
+        // average size of the candidate mask across the MR targets' episodes
+        let mask_size: f64 = test_ctx
+            .iter()
+            .map(|ctx: &TargetContext| {
+                let total: usize = ctx.candidate_mask.iter().map(|m| m.iter().filter(|&&b| b).count()).sum();
+                total as f64 / ctx.candidate_mask.len() as f64
+            })
+            .sum::<f64>()
+            / test_ctx.len() as f64;
+
+        println!(
+            "{:>7.0}%{:>16.1}{:>14.1}{:>16.1}{:>22.1}",
+            vr * 100.0,
+            result.mean.after_utility,
+            result.mean.preference,
+            result.mean.social_presence,
+            mask_size
+        );
+    }
+
+    println!("\nMore remote users → fewer physical blockers → a larger candidate pool and");
+    println!("more recommendation freedom, which is exactly the paper's Table VII trend.");
+}

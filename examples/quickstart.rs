@@ -1,0 +1,67 @@
+//! Quickstart: build a social-XR conferencing scenario, train POSHGNN, and
+//! compare it against a trivial baseline on the AFTER utility.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use after_xr::poshgnn::recommender::AfterRecommender;
+use after_xr::poshgnn::{evaluate_sequence, PoshGnn, PoshGnnConfig, TargetContext};
+use after_xr::xr_baselines::NearestRecommender;
+use after_xr::xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+
+fn main() {
+    // 1. Generate a synthetic social universe (a stand-in for the gated
+    //    Mozilla Hubs workshop data) and sample a conferencing room from it.
+    let dataset = Dataset::generate(DatasetKind::Hubs, 7);
+    let config = ScenarioConfig {
+        n_participants: 24,
+        vr_fraction: 0.5,
+        time_steps: 40,
+        room_side: 8.0,
+        body_radius: 0.25,
+        seed: 42,
+    };
+    let scenario = dataset.sample_scenario(&config);
+    println!(
+        "room: {} participants ({} MR / {} VR), {} time steps",
+        scenario.n(),
+        scenario.mr_count(),
+        scenario.n() - scenario.mr_count(),
+        scenario.t_max()
+    );
+
+    // 2. Pick a target user and materialize her view of the problem:
+    //    occlusion graphs, distances, candidate masks, utilities.
+    let target = 0;
+    let beta = 0.5; // equal weight on preference and social presence
+    let ctx = TargetContext::new(&scenario, target, beta);
+
+    // 3. Train POSHGNN on a *different* room sampled from the same universe.
+    let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 43, ..config });
+    let train_ctx = TargetContext::new(&train_scenario, 1, beta);
+    let mut model = PoshGnn::new(PoshGnnConfig::default());
+    let losses = model.train(std::slice::from_ref(&train_ctx), 60);
+    println!(
+        "trained {} parameters, loss {:.3} → {:.3}",
+        model.parameter_count(),
+        losses.first().unwrap(),
+        losses.last().unwrap()
+    );
+
+    // 4. Run a full episode and score it with the AFTER utility (Def. 3).
+    let recs = model.run_episode(&ctx);
+    let ours = evaluate_sequence(&ctx, &recs);
+
+    let mut nearest = NearestRecommender::new(8);
+    let base = evaluate_sequence(&ctx, &nearest.run_episode(&ctx));
+
+    println!("\n{:<22}{:>12}{:>12}", "metric", "POSHGNN", "Nearest");
+    println!("{:<22}{:>12.1}{:>12.1}", "AFTER utility", ours.after_utility, base.after_utility);
+    println!("{:<22}{:>12.1}{:>12.1}", "preference", ours.preference, base.preference);
+    println!("{:<22}{:>12.1}{:>12.1}", "social presence", ours.social_presence, base.social_presence);
+    println!(
+        "{:<22}{:>11.1}%{:>11.1}%",
+        "view occlusion",
+        100.0 * ours.view_occlusion_rate,
+        100.0 * base.view_occlusion_rate
+    );
+}

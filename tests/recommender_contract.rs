@@ -1,0 +1,87 @@
+//! Contract tests: every recommender in the workspace honours the
+//! [`AfterRecommender`] interface — correct decision shapes, never
+//! recommending the target, and clean episode resets.
+
+use after_xr::poshgnn::recommender::AfterRecommender;
+use after_xr::poshgnn::{PoshGnn, PoshGnnConfig, PoshVariant, TargetContext};
+use after_xr::xr_baselines::{
+    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
+    NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
+};
+use after_xr::xr_datasets::{Dataset, DatasetKind, Scenario, ScenarioConfig};
+use after_xr::xr_eval::RenderAllRecommender;
+
+fn scenario() -> Scenario {
+    let dataset = Dataset::generate(DatasetKind::Hubs, 2);
+    dataset.sample_scenario(&ScenarioConfig {
+        n_participants: 14,
+        vr_fraction: 0.5,
+        time_steps: 6,
+        room_side: 6.0,
+        body_radius: 0.2,
+        seed: 3,
+    })
+}
+
+fn all_recommenders(scenario: &Scenario) -> Vec<Box<dyn AfterRecommender>> {
+    vec![
+        Box::new(PoshGnn::new(PoshGnnConfig::default())),
+        Box::new(PoshGnn::new(PoshGnnConfig { variant: PoshVariant::PdrWithMia, ..Default::default() })),
+        Box::new(PoshGnn::new(PoshGnnConfig { variant: PoshVariant::PdrOnly, ..Default::default() })),
+        Box::new(RandomRecommender::new(4, 1)),
+        Box::new(NearestRecommender::new(4)),
+        Box::new(MvAgcRecommender::fit(scenario, 3, 2, 5)),
+        Box::new(GraFrankRecommender::fit(
+            scenario,
+            GraFrankConfig { iterations: 20, top_k: 4, ..Default::default() },
+        )),
+        Box::new(RnnRecommender::new(RnnKind::Tgcn, RnnConfig::default())),
+        Box::new(RnnRecommender::new(RnnKind::Dcrnn, RnnConfig::default())),
+        Box::new(ComurNetRecommender::new(ComurNetConfig {
+            rollouts: 2,
+            max_actions: 4,
+            ..Default::default()
+        })),
+        Box::new(RenderAllRecommender),
+    ]
+}
+
+#[test]
+fn every_method_satisfies_the_interface_contract() {
+    let scenario = scenario();
+    let ctx = TargetContext::new(&scenario, 0, 0.5);
+    for mut rec in all_recommenders(&scenario) {
+        let name = rec.name();
+        assert!(!name.is_empty());
+        let episode = rec.run_episode(&ctx);
+        assert_eq!(episode.len(), ctx.t_max() + 1, "{name}: wrong episode length");
+        for (t, decision) in episode.iter().enumerate() {
+            assert_eq!(decision.len(), ctx.n, "{name}: wrong decision width at t={t}");
+            assert!(!decision[ctx.target], "{name}: recommended the target herself at t={t}");
+        }
+        assert!(rec.latency_steps() <= 10, "{name}: absurd latency");
+    }
+}
+
+#[test]
+fn method_names_are_unique() {
+    let scenario = scenario();
+    let names: Vec<String> = all_recommenders(&scenario).iter().map(|r| r.name()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate method names: {names:?}");
+}
+
+#[test]
+fn stateful_methods_reset_between_episodes() {
+    let scenario = scenario();
+    let ctx = TargetContext::new(&scenario, 1, 0.5);
+    // recurrent models must produce identical episodes back to back
+    for kind in [RnnKind::Tgcn, RnnKind::Dcrnn] {
+        let mut rec = RnnRecommender::new(kind, RnnConfig::default());
+        assert_eq!(rec.run_episode(&ctx), rec.run_episode(&ctx), "{kind:?} leaked state");
+    }
+    let mut posh = PoshGnn::new(PoshGnnConfig::default());
+    assert_eq!(posh.run_episode(&ctx), posh.run_episode(&ctx), "POSHGNN leaked state");
+}
