@@ -79,20 +79,21 @@ impl ComurNetRecommender {
             &mut rng,
         );
         let optimizer = Adam::with_lr(config.learning_rate);
-        ComurNetRecommender { config, store, actor, critic, optimizer, rng: StdRng::seed_from_u64(config.seed) }
+        ComurNetRecommender {
+            config,
+            store,
+            actor,
+            critic,
+            optimizer,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
     }
 
     /// Per-candidate feature row at time `t`.
     fn candidate_features(ctx: &TargetContext, t: usize, w: usize) -> [f64; CAND_FEATURES] {
         let deg = ctx.occlusion[t].degree(w) as f64 / ctx.n as f64;
         let dist = (ctx.distances[t][w] / ctx.room_diagonal).min(1.0);
-        [
-            ctx.preference[w],
-            ctx.social[w],
-            deg,
-            dist,
-            if ctx.mr_mask[w] { 1.0 } else { 0.0 },
-        ]
+        [ctx.preference[w], ctx.social[w], deg, dist, if ctx.mr_mask[w] { 1.0 } else { 0.0 }]
     }
 
     /// Runs one set-construction episode. When `sample` is true the policy
@@ -129,11 +130,8 @@ impl ComurNetRecommender {
                 let z = logits.value();
                 // stable softmax over the column
                 let m = z.as_slice().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let exps: Vec<f64> = z
-                    .as_slice()
-                    .iter()
-                    .map(|&v| ((v - m) / self.config.temperature).exp())
-                    .collect();
+                let exps: Vec<f64> =
+                    z.as_slice().iter().map(|&v| ((v - m) / self.config.temperature).exp()).collect();
                 let sum: f64 = exps.iter().sum();
                 let mut draw = self.rng.gen::<f64>() * sum;
                 let mut pick = c - 1;
@@ -146,7 +144,8 @@ impl ComurNetRecommender {
                 }
                 // log π(a) = z_a/τ − ln Σ exp(z/τ) (built on the tape)
                 let one_hot = tape.constant(Matrix::from_fn(1, c, |_, i| if i == pick { 1.0 } else { 0.0 }));
-                let scaled = logits.scale(1.0 / self.config.temperature).add_scalar(-m / self.config.temperature);
+                let scaled =
+                    logits.scale(1.0 / self.config.temperature).add_scalar(-m / self.config.temperature);
                 let za = one_hot.matmul(scaled).sum();
                 let lse = scaled.exp().sum().ln();
                 let logp = za - lse;
@@ -238,10 +237,7 @@ mod tests {
         let recs = model.run_episode(&ctx);
         for (t, rec) in recs.iter().enumerate() {
             let chosen: Vec<usize> = (0..ctx.n).filter(|&w| rec[w]).collect();
-            assert!(
-                ctx.occlusion[t].is_independent_set(&chosen),
-                "occlusion constraint violated at t={t}"
-            );
+            assert!(ctx.occlusion[t].is_independent_set(&chosen), "occlusion constraint violated at t={t}");
             assert!(!rec[ctx.target]);
         }
     }
@@ -249,7 +245,8 @@ mod tests {
     #[test]
     fn respects_max_actions() {
         let ctx = tiny_context(16, 2, 2);
-        let mut model = ComurNetRecommender::new(ComurNetConfig { max_actions: 3, rollouts: 2, ..Default::default() });
+        let mut model =
+            ComurNetRecommender::new(ComurNetConfig { max_actions: 3, rollouts: 2, ..Default::default() });
         let recs = model.run_episode(&ctx);
         assert!(recs.iter().all(|r| r.iter().filter(|&&b| b).count() <= 3));
     }

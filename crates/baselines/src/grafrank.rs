@@ -211,10 +211,7 @@ mod tests {
         let model = GraFrankRecommender::fit(&scenario, quick_config());
         assert_eq!(model.scores().len(), 14);
         assert!(model.scores().iter().all(|row| row.len() == 14));
-        assert!(model
-            .scores()
-            .iter()
-            .all(|row| row.iter().all(|s| s.is_finite())));
+        assert!(model.scores().iter().all(|row| row.iter().all(|s| s.is_finite())));
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! used to report optimality gaps of the learned methods.
 
 pub mod comurnet;
-pub mod oracle;
 pub mod grafrank;
 pub mod mvagc;
+pub mod oracle;
 pub mod rnn;
 pub mod simple;
 
@@ -27,8 +27,8 @@ pub mod simple;
 pub(crate) mod test_support;
 
 pub use comurnet::{ComurNetConfig, ComurNetRecommender};
-pub use oracle::MwisOracle;
 pub use grafrank::{GraFrankConfig, GraFrankRecommender};
 pub use mvagc::MvAgcRecommender;
+pub use oracle::MwisOracle;
 pub use rnn::{RnnConfig, RnnKind, RnnRecommender};
 pub use simple::{NearestRecommender, RandomRecommender};

@@ -114,9 +114,8 @@ impl MvAgcRecommender {
         let n = scenario.n();
         let k = k_clusters.min(n);
         // weighted adjacency from social ties among participants
-        let adjacency: Vec<Vec<f64>> = (0..n)
-            .map(|v| (0..n).map(|w| scenario.social[v][w]).collect())
-            .collect();
+        let adjacency: Vec<Vec<f64>> =
+            (0..n).map(|v| (0..n).map(|w| scenario.social[v][w]).collect()).collect();
         let features: Vec<Vec<f64>> = (0..n)
             .map(|v| {
                 let mut f = scenario.preference[v].clone();
@@ -144,9 +143,7 @@ impl AfterRecommender for MvAgcRecommender {
 
     fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
         let own = self.clusters[ctx.target];
-        (0..ctx.n)
-            .map(|w| w != ctx.target && self.clusters[w] == own)
-            .collect()
+        (0..ctx.n).map(|w| w != ctx.target && self.clusters[w] == own).collect()
     }
 }
 
@@ -207,6 +204,7 @@ mod tests {
         assert!(decisions.iter().all(|d| d == first));
         // displayed set is exactly the target's cluster minus herself
         let own = rec.clusters()[0];
+        #[allow(clippy::needless_range_loop)] // w is a user id, not a position
         for w in 0..16 {
             let expect = w != 0 && rec.clusters()[w] == own;
             assert_eq!(first[w], expect);

@@ -99,10 +99,7 @@ mod tests {
             let oracle_u = evaluate_sequence(&ctx, &oracle.run_episode(&ctx)).after_utility;
             let mut nearest = NearestRecommender::new(5);
             let nearest_u = evaluate_sequence(&ctx, &nearest.run_episode(&ctx)).after_utility;
-            assert!(
-                oracle_u >= nearest_u,
-                "seed {seed}: oracle {oracle_u} < nearest {nearest_u}"
-            );
+            assert!(oracle_u >= nearest_u, "seed {seed}: oracle {oracle_u} < nearest {nearest_u}");
         }
     }
 

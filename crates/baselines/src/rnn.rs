@@ -135,7 +135,15 @@ impl RnnRecommender {
                         h_prev,
                     );
                     let blocking = tape.constant(mia_out.blocking.clone());
-                    let l = poshgnn_loss(&tape, r, r_prev, &mia_out.p_hat, &mia_out.s_hat, blocking, self.config.loss);
+                    let l = poshgnn_loss(
+                        &tape,
+                        r,
+                        r_prev,
+                        &mia_out.p_hat,
+                        &mia_out.s_hat,
+                        blocking,
+                        self.config.loss,
+                    );
                     total = Some(match total {
                         Some(acc) => acc + l,
                         None => l,
@@ -168,10 +176,7 @@ impl AfterRecommender for RnnRecommender {
     }
 
     fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-        let h_prev_m = self
-            .state
-            .take()
-            .unwrap_or_else(|| Matrix::zeros(ctx.n, self.config.hidden));
+        let h_prev_m = self.state.take().unwrap_or_else(|| Matrix::zeros(ctx.n, self.config.hidden));
         let mia_out = self.mia.compute(ctx, t);
         let tape = Tape::new();
         let h_prev = tape.constant(h_prev_m);

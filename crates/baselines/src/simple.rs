@@ -99,6 +99,7 @@ mod tests {
         assert_eq!(selected.len(), 3);
         // every selected user is nearer than every unselected non-target user
         let max_sel = selected.iter().map(|&w| ctx.distances[0][w]).fold(0.0, f64::max);
+        #[allow(clippy::needless_range_loop)] // w is a user id, not a position
         for w in 0..ctx.n {
             if w != ctx.target && !rec[w] {
                 assert!(ctx.distances[0][w] >= max_sel - 1e-12);

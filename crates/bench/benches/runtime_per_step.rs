@@ -37,10 +37,8 @@ fn bench_methods(c: &mut Criterion) {
     let mut mvagc = MvAgcRecommender::fit(&scenario, 10, 2, 3);
     group.bench_function("MvAGC", |b| b.iter(|| mvagc.recommend_step(&ctx, 10)));
 
-    let mut grafrank = GraFrankRecommender::fit(
-        &scenario,
-        GraFrankConfig { iterations: 30, ..Default::default() },
-    );
+    let mut grafrank =
+        GraFrankRecommender::fit(&scenario, GraFrankConfig { iterations: 30, ..Default::default() });
     group.bench_function("GraFrank", |b| b.iter(|| grafrank.recommend_step(&ctx, 10)));
 
     let mut dcrnn = RnnRecommender::new(RnnKind::Dcrnn, RnnConfig::default());

@@ -13,7 +13,7 @@
 //! not affect gradients. The same loss trains the DCRNN and TGCN baselines
 //! (§V-A.2, "for a fair comparison").
 
-use xr_tensor::{Matrix, Tape, Var};
+use xr_tensor::{Matrix, Tape, TapeLinOp, Var};
 
 /// Hyperparameters of the POSHGNN loss.
 #[derive(Debug, Clone, Copy)]
@@ -41,14 +41,17 @@ impl Default for LossParams {
 /// * `r_t`, `r_prev` — `N × 1` recommendation columns (tape nodes, so the
 ///   social-presence term backpropagates through *both* time steps).
 /// * `p_hat`, `s_hat` — the MIA-normalized utility columns (constants).
-/// * `adj` — dense `N × N` occlusion adjacency at `t` (constant).
+/// * `adj` — the `N × N` occlusion penalty operator at `t`: either a dense
+///   constant [`Var`] or a sparse [`xr_tensor::SparseVar`] (both implement
+///   [`TapeLinOp`]). The quadratic form is evaluated as `r_tᵀ·(A·r_t)`, so
+///   the sparse path costs O(nnz) instead of O(N²).
 pub fn poshgnn_loss<'t>(
     tape: &'t Tape,
     r_t: Var<'t>,
     r_prev: Var<'t>,
     p_hat: &Matrix,
     s_hat: &Matrix,
-    adj: Var<'t>,
+    adj: impl TapeLinOp<'t>,
     params: LossParams,
 ) -> Var<'t> {
     let LossParams { alpha, beta } = params;
@@ -56,7 +59,7 @@ pub fn poshgnn_loss<'t>(
     let s = tape.constant(s_hat.clone());
     let gain_p = (r_t * p).sum().scale(-(1.0 - beta));
     let gain_s = (r_t * r_prev * s).sum().scale(-beta);
-    let occlusion = r_t.t().matmul(adj).matmul(r_t).sum().scale(alpha);
+    let occlusion = r_t.t().matmul(adj.left_matmul(r_t)).sum().scale(alpha);
     let gamma = (1.0 - beta) * p_hat.sum() + beta * s_hat.sum();
     (gain_p + gain_s + occlusion).add_scalar(gamma)
 }
@@ -135,6 +138,29 @@ mod tests {
     }
 
     #[test]
+    fn sparse_and_dense_penalty_operators_agree() {
+        use std::rc::Rc;
+        use xr_tensor::CsrAdj;
+
+        let p = col(&[0.3, 0.7, 0.1]);
+        let s = col(&[0.2, 0.4, 0.9]);
+        let adj_m = Matrix::from_vec(3, 3, vec![0.0, 0.5, 0.0, 0.0, 0.0, 0.9, 0.0, 0.0, 0.0]).unwrap();
+        let params = LossParams { alpha: 0.4, beta: 0.5 };
+        let rv = col(&[0.9, 0.8, 0.2]);
+
+        let tape = Tape::new();
+        let r = tape.constant(rv.clone());
+        let dense = poshgnn_loss(&tape, r, r, &p, &s, tape.constant(adj_m.clone()), params);
+
+        let tape2 = Tape::new();
+        let r2 = tape2.constant(rv);
+        let a = tape2.sparse(Rc::new(CsrAdj::from_dense(&adj_m, 0.0)));
+        let sparse = poshgnn_loss(&tape2, r2, r2, &p, &s, a, params);
+
+        assert!((dense.scalar() - sparse.scalar()).abs() < 1e-14);
+    }
+
+    #[test]
     fn loss_is_nonnegative_for_probability_inputs() {
         // For r ∈ [0,1] and α ≥ 0 the gains are bounded by γ, so L ≥ 0.
         use rand::Rng;
@@ -149,15 +175,7 @@ mod tests {
             let r = tape.constant(col(&rv));
             let rp = tape.constant(col(&rv));
             let adj = tape.constant(Matrix::zeros(n, n));
-            let loss = poshgnn_loss(
-                &tape,
-                r,
-                rp,
-                &col(&pv),
-                &col(&sv),
-                adj,
-                LossParams::default(),
-            );
+            let loss = poshgnn_loss(&tape, r, rp, &col(&pv), &col(&sv), adj, LossParams::default());
             assert!(loss.scalar() >= -1e-9, "negative loss {}", loss.scalar());
         }
     }

@@ -28,11 +28,7 @@ pub struct UtilityBreakdown {
 /// co-located MR participants when the target is MR). `1[v ⇒_{-1} w] = 0`:
 /// the conference has not started before `t = 0`.
 pub fn evaluate_sequence(ctx: &TargetContext, recs: &[Vec<bool>]) -> UtilityBreakdown {
-    assert_eq!(
-        recs.len(),
-        ctx.t_max() + 1,
-        "need one recommendation per time step"
-    );
+    assert_eq!(recs.len(), ctx.t_max() + 1, "need one recommendation per time step");
     let n = ctx.n;
     let mut out = UtilityBreakdown::default();
     let mut prev_visible = vec![false; n];
@@ -60,10 +56,7 @@ pub fn evaluate_sequence(ctx: &TargetContext, recs: &[Vec<bool>]) -> UtilityBrea
                 occluded += 1;
             }
             let u = (1.0 - ctx.beta) * (see_now as u8 as f64) * ctx.preference[w]
-                + ctx.beta
-                    * (prev_visible[w] as u8 as f64)
-                    * (see_now as u8 as f64)
-                    * ctx.social[w];
+                + ctx.beta * (prev_visible[w] as u8 as f64) * (see_now as u8 as f64) * ctx.social[w];
             out.after_utility += u;
         }
         if rec_count > 0 {
@@ -82,8 +75,7 @@ pub fn evaluate_sequence(ctx: &TargetContext, recs: &[Vec<bool>]) -> UtilityBrea
 impl UtilityBreakdown {
     /// Component identity: `after = (1-β)·preference + β·social_presence`.
     pub fn consistent_with_beta(&self, beta: f64, tol: f64) -> bool {
-        ((1.0 - beta) * self.preference + beta * self.social_presence - self.after_utility).abs()
-            <= tol
+        ((1.0 - beta) * self.preference + beta * self.social_presence - self.after_utility).abs() <= tol
     }
 
     /// Averages a slice of breakdowns (e.g. across target users).
@@ -111,28 +103,14 @@ mod tests {
 
     /// Target 0 (VR) with users 1 (near east), 2 (behind 1), 3 (north).
     fn scenario() -> Scenario {
-        let positions = vec![
-            Point2::new(5.0, 5.0),
-            Point2::new(6.0, 5.0),
-            Point2::new(7.0, 5.02),
-            Point2::new(5.0, 8.0),
-        ];
+        let positions =
+            vec![Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Point2::new(7.0, 5.02), Point2::new(5.0, 8.0)];
         Scenario {
             dataset: "unit".into(),
             participants: vec![0, 1, 2, 3],
             interfaces: vec![Interface::Vr; 4],
-            preference: vec![
-                vec![0.0, 0.4, 0.9, 0.6],
-                vec![0.0; 4],
-                vec![0.0; 4],
-                vec![0.0; 4],
-            ],
-            social: vec![
-                vec![0.0, 0.0, 0.8, 0.5],
-                vec![0.0; 4],
-                vec![0.0; 4],
-                vec![0.0; 4],
-            ],
+            preference: vec![vec![0.0, 0.4, 0.9, 0.6], vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]],
+            social: vec![vec![0.0, 0.0, 0.8, 0.5], vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]],
             trajectories: vec![positions.clone(), positions.clone(), positions],
             room: Room::new(10.0, 10.0),
             body_radius: 0.25,
@@ -169,7 +147,7 @@ mod tests {
     fn social_presence_needs_consecutive_visibility() {
         let c = ctx(1.0); // β = 1: pure social presence
         let rec = vec![false, false, false, true]; // friend 3, s = 0.5
-        // visible at t=0,1,2 → SP counted at t=1 and t=2 only (t=0 has no past)
+                                                   // visible at t=0,1,2 → SP counted at t=1 and t=2 only (t=0 has no past)
         let recs = vec![rec.clone(), rec.clone(), rec.clone()];
         let b = evaluate_sequence(&c, &recs);
         assert!((b.social_presence - 2.0 * 0.5).abs() < 1e-12);

@@ -12,7 +12,9 @@
 //!   occluded by co-located MR participants;
 //! * the dense adjacency `A_t` of the static occlusion graph.
 
-use xr_tensor::Matrix;
+use std::rc::Rc;
+
+use xr_tensor::{CsrAdj, Matrix};
 
 use crate::problem::TargetContext;
 
@@ -46,6 +48,15 @@ pub struct MiaOutput {
     /// Distance-squared-normalized social-presence utilities `ŝ_t` (`N × 1`),
     /// masked by `m_t`.
     pub s_hat: Matrix,
+    /// Sparse CSR view of `adjacency`. The dense fields above are derived
+    /// from these CSR forms (built directly from the occlusion graph's edge
+    /// list in O(N + m)) and are kept for the dense-kernel ablation path and
+    /// the RNN baselines; POSHGNN's hot path consumes only the CSR fields.
+    pub adjacency_csr: Rc<CsrAdj>,
+    /// Sparse CSR view of `adjacency_norm` (mean-aggregation operator).
+    pub adjacency_norm_csr: Rc<CsrAdj>,
+    /// Sparse CSR view of `blocking` (loss occlusion penalty).
+    pub blocking_csr: Rc<CsrAdj>,
 }
 
 /// The Multi-modal Information Aggregator. Stateless and parameter-free; it
@@ -60,23 +71,28 @@ impl Mia {
     /// adjacency is the empty graph (the conference has not started).
     pub fn compute(&self, ctx: &TargetContext, t: usize) -> MiaOutput {
         let n = ctx.n;
-        let adjacency = dense_adjacency(ctx, t);
-        let prev_adjacency = if t == 0 { Matrix::zeros(n, n) } else { dense_adjacency(ctx, t - 1) };
+        let adjacency_csr = Rc::new(ctx.occlusion[t].adjacency_csr());
+        let prev_csr = if t == 0 { CsrAdj::empty(n, n) } else { ctx.occlusion[t - 1].adjacency_csr() };
 
         // Δ_t = [e⁰ ‖ e¹ ‖ e²]; the propagation differences are scaled by
         // 1/N so Δ stays O(1) regardless of crowd size (training stability;
-        // the paper leaves the scale unspecified).
-        let ones = Matrix::ones(n, 1);
-        let e1 = adjacency.sub(&prev_adjacency).matmul(&ones).scale(1.0 / n as f64);
-        // (A² − A'²)·1 = A·(A·1) − A'·(A'·1): two matrix-vector products
-        // instead of an O(N³) matrix square.
-        let a2_1 = adjacency.matmul(&adjacency.matmul(&ones));
-        let p2_1 = prev_adjacency.matmul(&prev_adjacency.matmul(&ones));
-        let e2 = a2_1.sub(&p2_1).scale(1.0 / n as f64);
+        // the paper leaves the scale unspecified). All structural terms are
+        // O(m): `(A − A')·1` is the degree difference, and
+        // `(A² − A'²)·1 = A·(A·1) − A'·(A'·1)` is two sparse mat-vecs —
+        // no N×N matrix is ever formed here.
+        let deg: Vec<f64> = (0..n).map(|v| ctx.occlusion[t].degree(v) as f64).collect();
+        let prev_deg: Vec<f64> = if t == 0 {
+            vec![0.0; n]
+        } else {
+            (0..n).map(|v| ctx.occlusion[t - 1].degree(v) as f64).collect()
+        };
+        let a2_1 = adjacency_csr.matvec(&deg);
+        let p2_1 = prev_csr.matvec(&prev_deg);
+        let inv_n = 1.0 / n as f64;
         let delta = Matrix::from_fn(n, 3, |r, c| match c {
             0 => 1.0,
-            1 => e1[(r, 0)],
-            _ => e2[(r, 0)],
+            1 => (deg[r] - prev_deg[r]) * inv_n,
+            _ => (a2_1[r] - p2_1[r]) * inv_n,
         });
 
         let mask = Matrix::from_fn(n, 1, |r, _| if ctx.candidate_mask[t][r] { 1.0 } else { 0.0 });
@@ -90,9 +106,8 @@ impl Mia {
         // the users' relative distance"): the network sees proximity but is
         // not paid for it.
         let dist = &ctx.distances[t];
-        let zero_target = |u: &[f64]| -> Vec<f64> {
-            (0..n).map(|w| if w == ctx.target { 0.0 } else { u[w] }).collect()
-        };
+        let zero_target =
+            |u: &[f64]| -> Vec<f64> { (0..n).map(|w| if w == ctx.target { 0.0 } else { u[w] }).collect() };
         let p_hat_v = zero_target(&ctx.preference);
         let s_hat_v = zero_target(&ctx.social);
 
@@ -103,19 +118,45 @@ impl Mia {
             0 => p_hat[(r, 0)],
             1 => s_hat[(r, 0)],
             2 => (dist[r] / ctx.room_diagonal).min(1.0),
-            _ => if ctx.mr_mask[r] { 1.0 } else { 0.0 },
+            _ => {
+                if ctx.mr_mask[r] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
         });
 
-        let adjacency_norm = row_normalize(&adjacency);
+        let adjacency_norm_csr = Rc::new(adjacency_csr.row_normalized());
 
-        // depth-weighted blocking matrix for the loss
-        let mut blocking = Matrix::zeros(n, n);
-        for (u, v) in ctx.occlusion[t].edges() {
-            let (near, far) = if dist[u] < dist[v] { (u, v) } else { (v, u) };
-            blocking[(far, near)] = p_hat[(far, 0)];
+        // depth-weighted blocking matrix for the loss; each occlusion edge
+        // contributes one directed entry, so nnz ≤ m
+        let blocking_entries: Vec<(usize, usize, f64)> = ctx.occlusion[t]
+            .edges()
+            .map(|(u, v)| {
+                let (near, far) = if dist[u] < dist[v] { (u, v) } else { (v, u) };
+                (far, near, p_hat[(far, 0)])
+            })
+            .collect();
+        let blocking_csr = Rc::new(CsrAdj::from_entries(n, n, &blocking_entries));
+
+        let adjacency = adjacency_csr.to_dense();
+        let adjacency_norm = adjacency_norm_csr.to_dense();
+        let blocking = blocking_csr.to_dense();
+
+        MiaOutput {
+            features,
+            delta,
+            mask,
+            adjacency,
+            adjacency_norm,
+            blocking,
+            p_hat,
+            s_hat,
+            adjacency_csr,
+            adjacency_norm_csr,
+            blocking_csr,
         }
-
-        MiaOutput { features, delta, mask, adjacency, adjacency_norm, blocking, p_hat, s_hat }
     }
 
     /// Raw (un-normalized, un-masked) features for the "Only PDR" ablation:
@@ -123,10 +164,28 @@ impl Mia {
     pub fn raw_features(&self, ctx: &TargetContext, t: usize) -> Matrix {
         let n = ctx.n;
         Matrix::from_fn(n, 4, |r, c| match c {
-            0 => if r == ctx.target { 0.0 } else { ctx.preference[r] },
-            1 => if r == ctx.target { 0.0 } else { ctx.social[r] },
+            0 => {
+                if r == ctx.target {
+                    0.0
+                } else {
+                    ctx.preference[r]
+                }
+            }
+            1 => {
+                if r == ctx.target {
+                    0.0
+                } else {
+                    ctx.social[r]
+                }
+            }
             2 => ctx.distances[t][r],
-            _ => if ctx.mr_mask[r] { 1.0 } else { 0.0 },
+            _ => {
+                if ctx.mr_mask[r] {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
         })
     }
 }
@@ -168,12 +227,8 @@ mod tests {
 
     fn scenario() -> Scenario {
         // target 0 MR; 1 MR blocker east; 2 VR behind blocker; 3 VR north.
-        let t0 = vec![
-            Point2::new(5.0, 5.0),
-            Point2::new(6.0, 5.0),
-            Point2::new(7.0, 5.02),
-            Point2::new(5.0, 8.0),
-        ];
+        let t0 =
+            vec![Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Point2::new(7.0, 5.02), Point2::new(5.0, 8.0)];
         // t1: user 2 escapes the blocker's shadow
         let mut t1 = t0.clone();
         t1[2] = Point2::new(5.0, 2.0);
@@ -181,18 +236,8 @@ mod tests {
             dataset: "unit".into(),
             participants: vec![0, 1, 2, 3],
             interfaces: vec![Interface::Mr, Interface::Mr, Interface::Vr, Interface::Vr],
-            preference: vec![
-                vec![0.0, 0.4, 0.9, 0.6],
-                vec![0.0; 4],
-                vec![0.0; 4],
-                vec![0.0; 4],
-            ],
-            social: vec![
-                vec![0.0, 0.0, 0.8, 0.5],
-                vec![0.0; 4],
-                vec![0.0; 4],
-                vec![0.0; 4],
-            ],
+            preference: vec![vec![0.0, 0.4, 0.9, 0.6], vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]],
+            social: vec![vec![0.0, 0.0, 0.8, 0.5], vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]],
             trajectories: vec![t0, t1],
             room: Room::new(10.0, 10.0),
             body_radius: 0.25,
@@ -291,6 +336,38 @@ mod tests {
         assert_eq!(out.blocking[(1, 2)], 0.0);
         // non-overlapping pair carries no penalty
         assert_eq!(out.blocking[(3, 1)], 0.0);
+    }
+
+    #[test]
+    fn csr_fields_match_dense_fields() {
+        for t in 0..2 {
+            let out = Mia.compute(&ctx(), t);
+            assert!(out.adjacency_csr.to_dense().approx_eq(&out.adjacency, 0.0));
+            assert!(out.adjacency_norm_csr.to_dense().approx_eq(&out.adjacency_norm, 1e-15));
+            assert!(out.blocking_csr.to_dense().approx_eq(&out.blocking, 0.0));
+        }
+    }
+
+    #[test]
+    fn delta_matches_dense_reference_computation() {
+        // The O(m) degree/mat-vec construction must equal the textbook
+        // dense form (A−A')·1/N and (A²−A'²)·1/N.
+        let c = ctx();
+        for t in 0..2 {
+            let out = Mia.compute(&c, t);
+            let n = c.n;
+            let adj = dense_adjacency(&c, t);
+            let prev = if t == 0 { Matrix::zeros(n, n) } else { dense_adjacency(&c, t - 1) };
+            let ones = Matrix::ones(n, 1);
+            let e1 = adj.sub(&prev).matmul(&ones).scale(1.0 / n as f64);
+            let a2 = adj.matmul(&adj.matmul(&ones));
+            let p2 = prev.matmul(&prev.matmul(&ones));
+            let e2 = a2.sub(&p2).scale(1.0 / n as f64);
+            for r in 0..n {
+                assert!((out.delta[(r, 1)] - e1[(r, 0)]).abs() < 1e-12);
+                assert!((out.delta[(r, 2)] - e2[(r, 0)]).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xr_gnn::{Activation, GcnLayer};
-use xr_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape, Var};
+use xr_tensor::{Adam, Matrix, Optimizer, ParamStore, Tape, TapeLinOp, Var};
 
 use crate::loss::{poshgnn_loss, LossParams};
 use crate::mia::{Mia, MiaOutput};
@@ -67,6 +67,11 @@ pub struct PoshGnnConfig {
     /// (`α·rᵀA_t r`) instead of the depth-weighted blocking refinement
     /// (`α·rᵀB_t r`). Kept for the loss-design ablation experiment.
     pub symmetric_penalty: bool,
+    /// Run GNN aggregation and the loss penalty on dense N×N constants
+    /// instead of the CSR sparse kernels. The sparse path (default) is
+    /// mathematically identical — this flag exists for cross-checking and
+    /// for measuring the sparse speedup in benchmarks.
+    pub dense_kernels: bool,
 }
 
 impl Default for PoshGnnConfig {
@@ -80,6 +85,7 @@ impl Default for PoshGnnConfig {
             seed: 42,
             variant: PoshVariant::Full,
             symmetric_penalty: false,
+            dense_kernels: false,
         }
     }
 }
@@ -123,18 +129,7 @@ impl PoshGnn {
         pdr2.set_bias(&mut store, -2.0);
         lwp3.set_bias(&mut store, -2.0);
         let optimizer = Adam::with_lr(config.learning_rate);
-        PoshGnn {
-            config,
-            store,
-            optimizer,
-            mia: Mia,
-            pdr1,
-            pdr2,
-            lwp1,
-            lwp2,
-            lwp3,
-            episode_state: None,
-        }
+        PoshGnn { config, store, optimizer, mia: Mia, pdr1, pdr2, lwp1, lwp2, lwp3, episode_state: None }
     }
 
     /// The active configuration.
@@ -147,17 +142,18 @@ impl PoshGnn {
         self.store.scalar_count()
     }
 
-    /// One forward step on `tape`. Returns `(r_t, h_t)`. `adj` must be the
-    /// tape constant holding `mia_out.adjacency` (shared with the loss so the
-    /// N×N matrix is materialized once per step).
+    /// One forward step on `tape`. Returns `(r_t, h_t)`. `agg` is the
+    /// mean-aggregation operator (`D⁻¹A_t`) — a sparse [`SparseVar`] on the
+    /// default path, or a dense constant [`Var`] under
+    /// [`PoshGnnConfig::dense_kernels`].
     #[allow(clippy::too_many_arguments)] // internal: one arg per module input
-    fn step_on_tape<'t>(
+    fn step_on_tape<'t, A: TapeLinOp<'t> + Copy>(
         &self,
         tape: &'t Tape,
         ctx: &TargetContext,
         t: usize,
         mia_out: &MiaOutput,
-        adj: Var<'t>,
+        agg: A,
         h_prev: Var<'t>,
         r_prev: Var<'t>,
     ) -> (Var<'t>, Var<'t>) {
@@ -167,14 +163,10 @@ impl PoshGnn {
         } else {
             tape.constant(mia_out.features.clone())
         };
-        // mean-aggregation operator for the GNN layers (`adj` — the raw
-        // adjacency — is reserved for the loss's occlusion penalty)
-        let _ = adj;
-        let agg = tape.constant(mia_out.adjacency_norm.clone());
 
         // PDR: h_t then r̃_t (Eq. 1 stack).
-        let h_t = self.pdr1.forward(tape, &self.store, features, agg);
-        let r_tilde = self.pdr2.forward(tape, &self.store, h_t, agg);
+        let h_t = self.pdr1.forward_agg(tape, &self.store, features, &agg);
+        let r_tilde = self.pdr2.forward_agg(tape, &self.store, h_t, &agg);
 
         let mask = tape.constant(mia_out.mask.clone());
         let r_t = match variant {
@@ -183,14 +175,33 @@ impl PoshGnn {
             PoshVariant::Full => {
                 let delta = tape.constant(mia_out.delta.clone());
                 let lwp_in = tape.concat_cols(&[features, delta, h_prev, r_prev]);
-                let z1 = self.lwp1.forward(tape, &self.store, lwp_in, agg);
-                let z2 = self.lwp2.forward(tape, &self.store, z1, agg);
-                let sigma = self.lwp3.forward(tape, &self.store, z2, agg);
+                let z1 = self.lwp1.forward_agg(tape, &self.store, lwp_in, &agg);
+                let z2 = self.lwp2.forward_agg(tape, &self.store, z1, &agg);
+                let sigma = self.lwp3.forward_agg(tape, &self.store, z2, &agg);
                 // preservation gate
                 mask * (sigma.one_minus() * r_tilde + sigma * r_prev)
             }
         };
         (r_t, h_t)
+    }
+
+    /// Dispatches one step to the sparse or dense aggregation kernel.
+    fn step_dispatch<'t>(
+        &self,
+        tape: &'t Tape,
+        ctx: &TargetContext,
+        t: usize,
+        mia_out: &MiaOutput,
+        h_prev: Var<'t>,
+        r_prev: Var<'t>,
+    ) -> (Var<'t>, Var<'t>) {
+        if self.config.dense_kernels {
+            let agg = tape.constant(mia_out.adjacency_norm.clone());
+            self.step_on_tape(tape, ctx, t, mia_out, agg, h_prev, r_prev)
+        } else {
+            let agg = tape.sparse(mia_out.adjacency_norm_csr.clone());
+            self.step_on_tape(tape, ctx, t, mia_out, agg, h_prev, r_prev)
+        }
     }
 
     /// Trains on the given target contexts for `epochs` passes, returning
@@ -209,22 +220,38 @@ impl PoshGnn {
                 let mut total: Option<Var<'_>> = None;
                 for t in 0..=ctx.t_max() {
                     let mia_out = self.mia.compute(ctx, t);
-                    let adj = tape.constant(mia_out.adjacency.clone());
-                    let penalty = if self.config.symmetric_penalty {
-                        adj
+                    let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
+                    let l = if self.config.dense_kernels {
+                        let penalty = if self.config.symmetric_penalty {
+                            tape.constant(mia_out.adjacency.clone())
+                        } else {
+                            tape.constant(mia_out.blocking.clone())
+                        };
+                        poshgnn_loss(
+                            &tape,
+                            r_t,
+                            r_prev,
+                            &mia_out.p_hat,
+                            &mia_out.s_hat,
+                            penalty,
+                            self.config.loss,
+                        )
                     } else {
-                        tape.constant(mia_out.blocking.clone())
+                        let penalty = if self.config.symmetric_penalty {
+                            tape.sparse(mia_out.adjacency_csr.clone())
+                        } else {
+                            tape.sparse(mia_out.blocking_csr.clone())
+                        };
+                        poshgnn_loss(
+                            &tape,
+                            r_t,
+                            r_prev,
+                            &mia_out.p_hat,
+                            &mia_out.s_hat,
+                            penalty,
+                            self.config.loss,
+                        )
                     };
-                    let (r_t, h_t) = self.step_on_tape(&tape, ctx, t, &mia_out, adj, h_prev, r_prev);
-                    let l = poshgnn_loss(
-                        &tape,
-                        r_t,
-                        r_prev,
-                        &mia_out.p_hat,
-                        &mia_out.s_hat,
-                        penalty,
-                        self.config.loss,
-                    );
                     total = Some(match total {
                         Some(acc) => acc + l,
                         None => l,
@@ -256,8 +283,7 @@ impl PoshGnn {
         let h_prev = tape.constant(h_prev_m);
         let r_prev = tape.constant(r_prev_m);
         let mia_out = self.mia.compute(ctx, t);
-        let adj = tape.constant(mia_out.adjacency.clone());
-        let (r_t, h_t) = self.step_on_tape(&tape, ctx, t, &mia_out, adj, h_prev, r_prev);
+        let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
         let r = r_t.value();
         self.episode_state = Some((h_t.value(), r.clone()));
         r.into_vec()
@@ -393,11 +419,30 @@ mod tests {
         let mut full = PoshGnn::new(PoshGnnConfig::default());
         full.begin_episode(&ctx);
         let soft = full.soft_recommend(&ctx, 0);
+        #[allow(clippy::needless_range_loop)] // w is a user id, not a position
         for w in 0..ctx.n {
             if !ctx.candidate_mask[0][w] {
                 assert_eq!(soft[w], 0.0, "masked candidate leaked through");
             }
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_kernels_produce_identical_recommendations() {
+        // The CSR path is an implementation detail: training + inference
+        // under dense_kernels must give the same decisions.
+        let train_ctx = small_ctx(11);
+        let eval_ctx = small_ctx(12);
+
+        let mut sparse = PoshGnn::new(PoshGnnConfig::default());
+        sparse.train(std::slice::from_ref(&train_ctx), 10);
+        let recs_sparse = sparse.run_episode(&eval_ctx);
+
+        let mut dense = PoshGnn::new(PoshGnnConfig { dense_kernels: true, ..Default::default() });
+        dense.train(std::slice::from_ref(&train_ctx), 10);
+        let recs_dense = dense.run_episode(&eval_ctx);
+
+        assert_eq!(recs_sparse, recs_dense);
     }
 
     #[test]

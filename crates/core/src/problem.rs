@@ -76,27 +76,18 @@ impl TargetContext {
         let mut distances = Vec::with_capacity(frames);
         let mut candidate_mask = Vec::with_capacity(frames);
 
-        assert!(
-            blocked.iter().all(|&b| b < n),
-            "blocklist entry out of range"
-        );
+        assert!(blocked.iter().all(|&b| b < n), "blocklist entry out of range");
         for positions in &scenario.trajectories {
             occlusion.push(converter.static_graph(target, positions));
-            distances.push(
-                (0..n)
-                    .map(|w| positions[target].distance(positions[w]))
-                    .collect::<Vec<f64>>(),
-            );
-            let mut mask =
-                physical_candidate_mask(&converter, target, target_is_mr, positions, &mr_mask);
+            distances.push((0..n).map(|w| positions[target].distance(positions[w])).collect::<Vec<f64>>());
+            let mut mask = physical_candidate_mask(&converter, target, target_is_mr, positions, &mr_mask);
             for &b in blocked {
                 mask[b] = false;
             }
             candidate_mask.push(mask);
         }
 
-        let room_diagonal =
-            (scenario.room.width().powi(2) + scenario.room.height().powi(2)).sqrt();
+        let room_diagonal = (scenario.room.width().powi(2) + scenario.room.height().powi(2)).sqrt();
 
         TargetContext {
             target,
@@ -141,8 +132,7 @@ impl TargetContext {
     /// `1[v ⇒_t w]`, restricted to recommended users by the caller).
     pub fn visibility(&self, t: usize, recommendation: &[bool]) -> Vec<bool> {
         let displayed = self.displayed(recommendation);
-        self.converter
-            .visibility(self.target, &self.positions[t], &displayed)
+        self.converter.visibility(self.target, &self.positions[t], &displayed)
     }
 }
 
@@ -196,12 +186,8 @@ mod tests {
     /// Hand-built 4-user scenario: target 0 (MR) at origin; 1 = MR blocker
     /// east; 2 = VR behind the blocker; 3 = VR north, clear.
     fn scenario(target_mr: bool) -> Scenario {
-        let positions = vec![
-            Point2::new(5.0, 5.0),
-            Point2::new(6.0, 5.0),
-            Point2::new(7.0, 5.02),
-            Point2::new(5.0, 8.0),
-        ];
+        let positions =
+            vec![Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Point2::new(7.0, 5.02), Point2::new(5.0, 8.0)];
         let interfaces = vec![
             if target_mr { Interface::Mr } else { Interface::Vr },
             Interface::Mr,
@@ -214,12 +200,8 @@ mod tests {
             vec![0.9, 0.1, 0.0, 0.1],
             vec![0.6, 0.1, 0.1, 0.0],
         ];
-        let s = vec![
-            vec![0.0, 0.0, 0.8, 0.5],
-            vec![0.0; 4],
-            vec![0.8, 0.0, 0.0, 0.0],
-            vec![0.5, 0.0, 0.0, 0.0],
-        ];
+        let s =
+            vec![vec![0.0, 0.0, 0.8, 0.5], vec![0.0; 4], vec![0.8, 0.0, 0.0, 0.0], vec![0.5, 0.0, 0.0, 0.0]];
         Scenario {
             dataset: "unit".into(),
             participants: vec![0, 1, 2, 3],

@@ -40,11 +40,7 @@ pub trait AfterRecommender {
 /// Converts a probability column into a display decision via thresholding,
 /// always excluding the target.
 pub fn threshold_decision(probs: &[f64], target: usize, threshold: f64) -> Vec<bool> {
-    probs
-        .iter()
-        .enumerate()
-        .map(|(w, &p)| w != target && p > threshold)
-        .collect()
+    probs.iter().enumerate().map(|(w, &p)| w != target && p > threshold).collect()
 }
 
 /// Selects the indices of the `k` largest values (excluding `target`),

@@ -57,7 +57,8 @@ impl SegmentObstacle {
         if closest.distance(agent.position) > range {
             return None;
         }
-        let obstacle_state = AgentState { position: closest, velocity: Point2::zero(), radius: self.thickness };
+        let obstacle_state =
+            AgentState { position: closest, velocity: Point2::zero(), radius: self.thickness };
         let half = orca_line(agent, &obstacle_state, time_horizon, time_step);
         // full responsibility: the obstacle will not take its half-step, so
         // the agent doubles the correction `u` (line.point = v + u instead
@@ -124,7 +125,8 @@ mod tests {
     #[test]
     fn orca_line_range_gate() {
         let s = seg();
-        let agent = AgentState { position: Point2::new(0.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
+        let agent =
+            AgentState { position: Point2::new(0.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
         assert!(s.orca_line(&agent, 2.0, 0.25, 3.0).is_some());
         assert!(s.orca_line(&agent, 2.0, 0.25, 1.0).is_none());
     }
@@ -133,7 +135,8 @@ mod tests {
     fn obstacle_constraint_blocks_head_on_velocity() {
         // agent charging straight at the wall must be deflected/slowed
         let s = seg();
-        let agent = AgentState { position: Point2::new(1.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
+        let agent =
+            AgentState { position: Point2::new(1.0, 2.0), velocity: Point2::new(1.0, 0.0), radius: 0.25 };
         let line = s.orca_line(&agent, 2.0, 0.25, 5.0).unwrap();
         let v = crate::orca::solve_velocity(&[line], 1.5, Point2::new(1.0, 0.0));
         assert!(v.x < 1.0 - 1e-6 || v.y.abs() > 1e-6, "velocity unchanged: {v:?}");

@@ -90,11 +90,96 @@ pub struct SimConfig {
     pub neighbor_dist: f64,
     /// At most this many nearest neighbors induce constraints.
     pub max_neighbors: usize,
+    /// Find neighbors through a uniform spatial grid (cell size =
+    /// `neighbor_dist`) instead of an O(N²) all-pairs scan. Both paths
+    /// produce bit-identical trajectories; the brute-force scan is kept for
+    /// equivalence tests and as the baseline in the before/after benchmark.
+    pub use_spatial_grid: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { time_step: 0.25, time_horizon: 2.0, neighbor_dist: 3.0, max_neighbors: 10 }
+        SimConfig {
+            time_step: 0.25,
+            time_horizon: 2.0,
+            neighbor_dist: 3.0,
+            max_neighbors: 10,
+            use_spatial_grid: true,
+        }
+    }
+}
+
+/// Uniform spatial grid over the agents' bounding box, rebuilt each step.
+///
+/// Cell size equals the neighbor query radius, so all neighbors within
+/// `neighbor_dist` of a point lie in the point's cell or one of its 8
+/// surrounding cells. Binning is O(N); a query touches only the agents in
+/// those ≤ 9 cells, replacing the O(N²) all-pairs scan that dominated the
+/// N=500 sensitivity sweep.
+struct NeighborGrid {
+    inv_cell: f64,
+    min: Point2,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<usize>>,
+}
+
+impl NeighborGrid {
+    /// Bins `points` into cells of side `cell_size` (clamped away from 0).
+    fn build(points: &[Point2], cell_size: f64) -> Self {
+        let cell = cell_size.max(1e-9);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if points.is_empty() {
+            return NeighborGrid {
+                inv_cell: 1.0 / cell,
+                min: Point2::zero(),
+                nx: 0,
+                ny: 0,
+                cells: Vec::new(),
+            };
+        }
+        let min = Point2::new(min_x, min_y);
+        let nx = (((max_x - min_x) / cell).floor() as usize) + 1;
+        let ny = (((max_y - min_y) / cell).floor() as usize) + 1;
+        let mut grid = NeighborGrid { inv_cell: 1.0 / cell, min, nx, ny, cells: vec![Vec::new(); nx * ny] };
+        for (i, p) in points.iter().enumerate() {
+            let (cx, cy) = grid.cell_of(*p);
+            grid.cells[cy * nx + cx].push(i);
+        }
+        grid
+    }
+
+    /// Cell coordinates of `p`, clamped into the grid.
+    fn cell_of(&self, p: Point2) -> (usize, usize) {
+        let cx =
+            (((p.x - self.min.x) * self.inv_cell).floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let cy =
+            (((p.y - self.min.y) * self.inv_cell).floor() as isize).clamp(0, self.ny as isize - 1) as usize;
+        (cx, cy)
+    }
+
+    /// Appends the indices stored in the 3×3 cell block around `p` to `out`.
+    fn gather(&self, p: Point2, out: &mut Vec<usize>) {
+        if self.cells.is_empty() {
+            return;
+        }
+        let (cx, cy) = self.cell_of(p);
+        let x0 = cx.saturating_sub(1);
+        let x1 = (cx + 1).min(self.nx - 1);
+        let y0 = cy.saturating_sub(1);
+        let y1 = (cy + 1).min(self.ny - 1);
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                out.extend_from_slice(&self.cells[y * self.nx + x]);
+            }
+        }
     }
 }
 
@@ -168,6 +253,17 @@ impl CrowdSimulator {
             .map(|a| AgentState { position: a.position, velocity: a.velocity, radius: a.radius })
             .collect();
 
+        // With the grid, all agents within neighbor_dist of agent i are
+        // guaranteed to land in the 3×3 cell block around i's cell.
+        let grid = if self.config.use_spatial_grid {
+            let positions: Vec<Point2> = states.iter().map(|s| s.position).collect();
+            Some(NeighborGrid::build(&positions, self.config.neighbor_dist))
+        } else {
+            None
+        };
+
+        let range_sq = self.config.neighbor_dist * self.config.neighbor_dist;
+        let mut candidates: Vec<usize> = Vec::new();
         let mut new_velocities = Vec::with_capacity(n);
         for i in 0..n {
             let agent = &self.agents[i];
@@ -179,21 +275,44 @@ impl CrowdSimulator {
             };
 
             // nearest neighbors within range
-            let mut nbrs: Vec<(f64, usize)> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| (states[i].position.distance_sq(states[j].position), j))
-                .filter(|&(d2, _)| d2 < self.config.neighbor_dist * self.config.neighbor_dist)
-                .collect();
-            nbrs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut nbrs: Vec<(f64, usize)> = match &grid {
+                Some(grid) => {
+                    candidates.clear();
+                    grid.gather(states[i].position, &mut candidates);
+                    candidates
+                        .iter()
+                        .filter(|&&j| j != i)
+                        .map(|&j| (states[i].position.distance_sq(states[j].position), j))
+                        .filter(|&(d2, _)| d2 < range_sq)
+                        .collect()
+                }
+                None => (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (states[i].position.distance_sq(states[j].position), j))
+                    .filter(|&(d2, _)| d2 < range_sq)
+                    .collect(),
+            };
+            // Sort on (distance, index): the index tiebreak makes the order
+            // independent of cell visitation order, so grid and brute-force
+            // paths induce the same constraints (and thus bit-identical
+            // trajectories) even when distances tie.
+            nbrs.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
             nbrs.truncate(self.config.max_neighbors);
 
             let mut lines: Vec<_> = nbrs
                 .iter()
-                .map(|&(_, j)| orca_line(&states[i], &states[j], self.config.time_horizon, self.config.time_step))
+                .map(|&(_, j)| {
+                    orca_line(&states[i], &states[j], self.config.time_horizon, self.config.time_step)
+                })
                 .collect();
             // static obstacles induce non-reciprocal constraints
             lines.extend(self.obstacles.iter().filter_map(|o| {
-                o.orca_line(&states[i], self.config.time_horizon, self.config.time_step, self.config.neighbor_dist)
+                o.orca_line(
+                    &states[i],
+                    self.config.time_horizon,
+                    self.config.time_step,
+                    self.config.neighbor_dist,
+                )
             }));
 
             new_velocities.push(solve_velocity(&lines, agent.max_speed, preferred));
@@ -368,6 +487,75 @@ mod tests {
             prev = cur;
         }
         assert!(sim.agents()[0].at_goal(0.5), "agent stuck at {:?}", sim.agents()[0].position);
+    }
+
+    #[test]
+    fn spatial_grid_matches_brute_force_scan() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        // Dense enough that many agents exceed max_neighbors and distances
+        // can tie; trajectories must still be bit-identical on both paths.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let agents: Vec<Agent> = (0..60)
+            .map(|_| {
+                Agent::new(
+                    Point2::new(rng.gen_range(0.5..11.5), rng.gen_range(0.5..11.5)),
+                    Point2::new(rng.gen_range(0.5..11.5), rng.gen_range(0.5..11.5)),
+                )
+            })
+            .collect();
+        let run = |use_grid: bool| {
+            let config = SimConfig { use_spatial_grid: use_grid, ..SimConfig::default() };
+            let mut sim = CrowdSimulator::new(agents.clone(), Room::new(12.0, 12.0), config);
+            sim.run_recording(40)
+        };
+        let grid = run(true);
+        let brute = run(false);
+        for (fg, fb) in grid.iter().zip(brute.iter()) {
+            for (pg, pb) in fg.iter().zip(fb.iter()) {
+                assert_eq!(pg, pb, "grid and brute-force trajectories diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_grid_gathers_everything_in_range() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cell = 1.5;
+        let points: Vec<Point2> =
+            (0..200).map(|_| Point2::new(rng.gen_range(-5.0..25.0), rng.gen_range(-3.0..9.0))).collect();
+        let grid = NeighborGrid::build(&points, cell);
+        let mut out = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            out.clear();
+            grid.gather(*p, &mut out);
+            for (j, q) in points.iter().enumerate() {
+                if j != i && p.distance_sq(*q) < cell * cell {
+                    assert!(out.contains(&j), "grid missed in-range point {j} for query {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_grid_handles_degenerate_inputs() {
+        // empty point set
+        let grid = NeighborGrid::build(&[], 2.0);
+        let mut out = Vec::new();
+        grid.gather(Point2::new(1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        // all points coincident (zero-extent bounding box)
+        let p = Point2::new(3.0, 3.0);
+        let grid = NeighborGrid::build(&[p, p, p], 2.0);
+        out.clear();
+        grid.gather(p, &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
+        // query far outside the bounding box clamps into the grid
+        out.clear();
+        grid.gather(Point2::new(-100.0, 100.0), &mut out);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

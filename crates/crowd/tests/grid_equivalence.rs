@@ -1,0 +1,43 @@
+//! Property-based check that the spatial-grid neighbor query is a pure
+//! performance change: simulations with and without the grid must produce
+//! bit-identical trajectories for arbitrary crowds and query radii.
+
+use proptest::prelude::*;
+use xr_crowd::{Agent, CrowdSimulator, Room, SimConfig};
+use xr_graph::geom::Point2;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grid_and_brute_force_trajectories_are_identical(
+        raw in proptest::collection::vec((0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95, 0.05f64..0.95), 30),
+        neighbor_dist in 0.5f64..5.0,
+        max_neighbors in 1usize..12,
+    ) {
+        let side = 12.0;
+        let agents: Vec<Agent> = raw
+            .iter()
+            .map(|&(px, py, gx, gy)| {
+                Agent::new(Point2::new(px * side, py * side), Point2::new(gx * side, gy * side))
+            })
+            .collect();
+        let run = |use_spatial_grid: bool| {
+            let config = SimConfig {
+                neighbor_dist,
+                max_neighbors,
+                use_spatial_grid,
+                ..SimConfig::default()
+            };
+            let mut sim = CrowdSimulator::new(agents.clone(), Room::new(side, side), config);
+            sim.run_recording(25)
+        };
+        let grid = run(true);
+        let brute = run(false);
+        for (t, (fg, fb)) in grid.iter().zip(brute.iter()).enumerate() {
+            for (i, (pg, pb)) in fg.iter().zip(fb.iter()).enumerate() {
+                prop_assert_eq!(pg, pb, "diverged at step {} agent {}", t, i);
+            }
+        }
+    }
+}

@@ -86,13 +86,7 @@ impl Dataset {
 
     /// Samples a conferencing-room scenario from this universe.
     pub fn sample_scenario(&self, config: &ScenarioConfig) -> Scenario {
-        sample_scenario(
-            self.kind.name(),
-            &self.social_graph,
-            &self.preference,
-            &self.social_presence,
-            config,
-        )
+        sample_scenario(self.kind.name(), &self.social_graph, &self.preference, &self.social_presence, config)
     }
 
     /// The paper's default scenario configuration for this dataset:

@@ -123,13 +123,7 @@ pub fn spectral_embedding(g: &SocialGraph, k: usize, iterations: usize, seed: u6
 
     // scale each eigenvector by sqrt(|λ|) so dimensions carry their weight
     let vectors: Vec<Vec<f64>> = (0..n)
-        .map(|v| {
-            basis
-                .iter()
-                .zip(&eigenvalues)
-                .map(|(b, &l)| b[v] * l.abs().sqrt())
-                .collect()
-        })
+        .map(|v| basis.iter().zip(&eigenvalues).map(|(b, &l)| b[v] * l.abs().sqrt()).collect())
         .collect();
     SpectralEmbedding { vectors, eigenvalues }
 }

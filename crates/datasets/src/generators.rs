@@ -143,11 +143,7 @@ mod tests {
         assert_eq!(g.edge_count(), expected);
         // hubs: max degree far above the mean (scale-free signature)
         let max_deg = (0..n).map(|v| g.degree(v)).max().unwrap();
-        assert!(
-            (max_deg as f64) > 3.0 * g.mean_degree(),
-            "max degree {max_deg} vs mean {}",
-            g.mean_degree()
-        );
+        assert!((max_deg as f64) > 3.0 * g.mean_degree(), "max degree {max_deg} vs mean {}", g.mean_degree());
         // minimum degree is m
         assert!((0..n).all(|v| g.degree(v) >= m));
     }

@@ -182,11 +182,7 @@ pub fn generate_trajectories(
 /// is exhausted. Conference attendees know each other — uniform sampling
 /// from an 850k-user universe would yield a room of mutual strangers, and
 /// the social-presence term of the AFTER utility would be vacuous.
-pub fn snowball_sample(
-    social: &xr_graph::SocialGraph,
-    n: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+pub fn snowball_sample(social: &xr_graph::SocialGraph, n: usize, rng: &mut StdRng) -> Vec<usize> {
     let universe = social.node_count();
     let n = n.min(universe);
     let mut picked = Vec::with_capacity(n);
@@ -286,7 +282,14 @@ mod tests {
     }
 
     fn cfg(n: usize, t: usize, seed: u64) -> ScenarioConfig {
-        ScenarioConfig { n_participants: n, vr_fraction: 0.5, time_steps: t, room_side: 10.0, body_radius: 0.15, seed }
+        ScenarioConfig {
+            n_participants: n,
+            vr_fraction: 0.5,
+            time_steps: t,
+            room_side: 10.0,
+            body_radius: 0.15,
+            seed,
+        }
     }
 
     #[test]
@@ -333,9 +336,8 @@ mod tests {
             }
         }
         // the crowd actually moves
-        let moved: f64 = (0..s.n())
-            .map(|i| s.trajectories[0][i].distance(s.trajectories[s.t_max()][i]))
-            .sum();
+        let moved: f64 =
+            (0..s.n()).map(|i| s.trajectories[0][i].distance(s.trajectories[s.t_max()][i])).sum();
         assert!(moved > 1.0, "crowd is frozen: total displacement {moved}");
     }
 

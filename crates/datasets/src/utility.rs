@@ -84,7 +84,8 @@ impl PreferenceModel {
 fn pair_taste(seed: u64, v: usize, w: usize) -> f64 {
     // splitmix-style mix of (seed, v, w) → one uniform draw
     let mut rng = StdRng::seed_from_u64(
-        seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (w as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (w as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
     );
     rng.gen::<f64>()
 }
@@ -106,10 +107,7 @@ pub fn social_presence_matrix(g: &SocialGraph) -> Vec<Vec<f64>> {
 /// Restricts a full utility matrix to a participant subset, reindexed to
 /// `0..participants.len()`.
 pub fn restrict_matrix(full: &[Vec<f64>], participants: &[usize]) -> Vec<Vec<f64>> {
-    participants
-        .iter()
-        .map(|&v| participants.iter().map(|&w| full[v][w]).collect())
-        .collect()
+    participants.iter().map(|&v| participants.iter().map(|&w| full[v][w]).collect()).collect()
 }
 
 #[cfg(test)]
@@ -128,6 +126,7 @@ mod tests {
         let g = graph();
         let p = PreferenceModel::default().preference_matrix(&g);
         assert_eq!(p.len(), 60);
+        #[allow(clippy::needless_range_loop)] // v, w are user ids, not positions
         for v in 0..60 {
             assert_eq!(p[v][v], 0.0, "diagonal must be zero");
             for w in 0..60 {
@@ -164,6 +163,7 @@ mod tests {
     fn social_presence_matches_ties() {
         let g = graph();
         let s = social_presence_matrix(&g);
+        #[allow(clippy::needless_range_loop)] // v, w are user ids, not positions
         for v in 0..g.node_count() {
             for w in 0..g.node_count() {
                 assert_eq!(s[v][w], g.tie_strength(v, w));

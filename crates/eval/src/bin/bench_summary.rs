@@ -1,0 +1,204 @@
+//! Machine-readable performance summary for the hot-path overhaul: blocked
+//! vs. naive matmul, sparse vs. dense GNN kernels, grid vs. brute-force
+//! crowd neighbor queries, and serial vs. parallel experiment cells.
+//!
+//! Writes `BENCH_pr1.json` at the workspace root (next to `Cargo.toml`) and
+//! prints it to stdout. All "before" numbers are the pre-overhaul code
+//! paths, which are kept callable behind flags (`matmul_naive`,
+//! `dense_kernels`, `use_spatial_grid: false`, `AFTER_THREADS=1`), so the
+//! comparison runs both sides in one build.
+//!
+//! Usage: `cargo run --release -p xr-eval --bin bench_summary`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use poshgnn::{PoshGnn, PoshGnnConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xr_crowd::{Agent, CrowdSimulator, Room, SimConfig};
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_eval::report::results_dir;
+use xr_eval::runner::{build_contexts, pick_targets, run_comparison, run_method, ComparisonConfig};
+use xr_graph::geom::Point2;
+use xr_tensor::{CsrAdj, Matrix};
+
+/// Median wall-clock milliseconds of `f` over `reps` runs (after one warmup).
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap()
+}
+
+fn bench_matmul(out: &mut String) {
+    let mut rng = StdRng::seed_from_u64(1);
+    out.push_str("  \"matmul\": [\n");
+    let shapes = [(128usize, 128usize, 128usize), (256, 256, 256), (512, 512, 512), (200, 16, 200)];
+    for (idx, &(m, k, n)) in shapes.iter().enumerate() {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let naive = time_ms(5, || {
+            std::hint::black_box(a.matmul_naive(&b));
+        });
+        let blocked = time_ms(5, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let comma = if idx + 1 < shapes.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"naive_ms\": {naive:.3}, \"blocked_ms\": {blocked:.3}, \"speedup\": {:.2}}}{comma}",
+            naive / blocked
+        );
+    }
+    out.push_str("  ],\n");
+}
+
+fn bench_spmm(out: &mut String) {
+    // adjacency with ~6 neighbors per node, the occlusion-graph regime
+    let n = 500usize;
+    let cols = 16usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut entries = Vec::new();
+    for i in 0..n {
+        for _ in 0..6 {
+            entries.push((i, rng.gen_range(0..n), 1.0));
+        }
+    }
+    let csr = CsrAdj::from_entries(n, n, &entries).row_normalized();
+    let dense = csr.to_dense();
+    let x = random_matrix(n, cols, &mut rng);
+    let dense_ms = time_ms(9, || {
+        std::hint::black_box(dense.matmul(&x));
+    });
+    let sparse_ms = time_ms(9, || {
+        std::hint::black_box(csr.matmul_dense(&x));
+    });
+    let _ = writeln!(
+        out,
+        "  \"spmm\": {{\"n\": {n}, \"cols\": {cols}, \"nnz\": {}, \"dense_ms\": {dense_ms:.3}, \"sparse_ms\": {sparse_ms:.3}, \"speedup\": {:.2}}},",
+        csr.nnz(),
+        dense_ms / sparse_ms
+    );
+}
+
+fn bench_crowd(out: &mut String) {
+    let n = 500usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let room = 22.0; // ~1 agent/m², the paper's dense-room regime
+    let agents: Vec<Agent> = (0..n)
+        .map(|_| {
+            Agent::new(
+                Point2::new(rng.gen_range(0.5..room - 0.5), rng.gen_range(0.5..room - 0.5)),
+                Point2::new(rng.gen_range(0.5..room - 0.5), rng.gen_range(0.5..room - 0.5)),
+            )
+        })
+        .collect();
+    let steps = 10;
+    let run = |use_grid: bool| {
+        let config = SimConfig { use_spatial_grid: use_grid, ..SimConfig::default() };
+        time_ms(3, || {
+            let mut sim = CrowdSimulator::new(agents.clone(), Room::new(room, room), config);
+            for _ in 0..steps {
+                sim.step();
+            }
+            std::hint::black_box(sim.positions());
+        })
+    };
+    let brute_ms = run(false);
+    let grid_ms = run(true);
+    let _ = writeln!(
+        out,
+        "  \"crowd_step\": {{\"n\": {n}, \"steps\": {steps}, \"brute_ms\": {brute_ms:.3}, \"grid_ms\": {grid_ms:.3}, \"speedup\": {:.2}}},",
+        brute_ms / grid_ms
+    );
+}
+
+fn bench_poshgnn_step(out: &mut String) {
+    let dataset = Dataset::generate(DatasetKind::Timik, 2);
+    out.push_str("  \"poshgnn_step\": [\n");
+    let sizes = [100usize, 200];
+    for (idx, &n) in sizes.iter().enumerate() {
+        let scenario_cfg =
+            ScenarioConfig { n_participants: n, time_steps: 30, seed: 11, ..ScenarioConfig::default() };
+        let scenario = dataset.sample_scenario(&scenario_cfg);
+        let ctxs = build_contexts(&scenario, &pick_targets(&scenario, 2, 7), 0.5);
+        let mut ms = [0.0f64; 2];
+        for (slot, dense) in [(0usize, false), (1, true)] {
+            let mut model = PoshGnn::new(PoshGnnConfig { dense_kernels: dense, ..Default::default() });
+            model.train(&ctxs, 2); // params only; step cost is training-independent
+            ms[slot] = run_method(&mut model, &ctxs).ms_per_step;
+        }
+        let comma = if idx + 1 < sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"n\": {n}, \"sparse_ms_per_step\": {:.3}, \"dense_ms_per_step\": {:.3}, \"speedup\": {:.2}}}{comma}",
+            ms[0],
+            ms[1],
+            ms[1] / ms[0]
+        );
+    }
+    out.push_str("  ],\n");
+}
+
+fn bench_parallel_runner(out: &mut String) {
+    let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+    let cfg = ComparisonConfig {
+        scenario: ScenarioConfig { n_participants: 40, time_steps: 20, seed: 9, ..ScenarioConfig::default() },
+        n_targets: 2,
+        train_epochs: 20,
+        include_comurnet: false,
+        ..ComparisonConfig::paper_defaults(ScenarioConfig::default())
+    };
+    let wall = |threads: Option<usize>| {
+        match threads {
+            Some(t) => std::env::set_var("AFTER_THREADS", t.to_string()),
+            None => std::env::remove_var("AFTER_THREADS"),
+        }
+        let start = Instant::now();
+        std::hint::black_box(run_comparison(&dataset, &cfg));
+        start.elapsed().as_secs_f64()
+    };
+    let serial_s = wall(Some(1));
+    let parallel_s = wall(None);
+    std::env::remove_var("AFTER_THREADS");
+    let _ = writeln!(
+        out,
+        "  \"comparison_runner\": {{\"methods\": 7, \"threads\": {}, \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {:.2}}}",
+        xr_eval::thread_count(),
+        serial_s / parallel_s
+    );
+}
+
+fn main() {
+    let mut out = String::from("{\n");
+    eprintln!("[1/5] blocked vs naive matmul");
+    bench_matmul(&mut out);
+    eprintln!("[2/5] sparse vs dense aggregation (SpMM)");
+    bench_spmm(&mut out);
+    eprintln!("[3/5] grid vs brute-force crowd neighbors");
+    bench_crowd(&mut out);
+    eprintln!("[4/5] POSHGNN recommend step, sparse vs dense kernels");
+    bench_poshgnn_step(&mut out);
+    eprintln!("[5/5] comparison runner, 1 thread vs all cores");
+    bench_parallel_runner(&mut out);
+    out.push_str("}\n");
+
+    println!("{out}");
+    let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
+    let path = root.join("BENCH_pr1.json");
+    match std::fs::write(&path, &out) {
+        Ok(()) => eprintln!("[written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -21,9 +21,8 @@ fn main() {
     let scenario = dataset.sample_scenario(&cfg);
     let ctx = build_contexts(&scenario, &pick_targets(&scenario, 4, cfg.seed ^ 0x7A46), 0.5);
 
-    let mut text = String::from(
-        "COMURNet delivered utility vs delivery latency (SMM-like, N = 200, T = 100)\n",
-    );
+    let mut text =
+        String::from("COMURNet delivered utility vs delivery latency (SMM-like, N = 200, T = 100)\n");
     text.push_str(&format!(
         "{:>10}{:>16}{:>14}{:>16}{:>14}\n",
         "latency", "AFTER utility", "preference", "social pres.", "occlusion"

@@ -68,11 +68,7 @@ fn describe(ctx: &TargetContext, t: usize, rec: &[bool]) -> String {
         "renders {{{}}} → visible {{{}}}{}",
         rendered.join(","),
         visible.join(","),
-        if occluded.is_empty() {
-            String::new()
-        } else {
-            format!(", occluded {{{}}}", occluded.join(","))
-        }
+        if occluded.is_empty() { String::new() } else { format!(", occluded {{{}}}", occluded.join(",")) }
     )
 }
 

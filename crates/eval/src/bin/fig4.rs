@@ -16,6 +16,7 @@ fn main() {
     let result = run_user_study(&UserStudyConfig::default());
     let mut text = String::from("Fig. 4: utility and user feedback in the (simulated) user study\n\n");
 
+    #[allow(clippy::type_complexity)] // local row-formatter table
     let sections: [(&str, fn(&xr_eval::StudyOutcome) -> (f64, f64)); 3] = [
         ("Overall (AFTER utility / satisfaction)", |o| (o.utility_per_step, o.feedback_overall)),
         ("Preference (utility / customization feedback)", |o| (o.preference_per_step, o.feedback_preference)),
@@ -47,8 +48,13 @@ fn main() {
     for o in &result.outcomes {
         csv.push_str(&format!(
             "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            o.name, o.utility_per_step, o.preference_per_step, o.social_presence_per_step,
-            o.feedback_overall, o.feedback_preference, o.feedback_social
+            o.name,
+            o.utility_per_step,
+            o.preference_per_step,
+            o.social_presence_per_step,
+            o.feedback_overall,
+            o.feedback_preference,
+            o.feedback_social
         ));
     }
     emit("fig4.csv", &csv);

@@ -7,7 +7,12 @@ fn main() {
     println!("alpha={alpha} epochs={epochs}");
     let dataset = Dataset::generate(DatasetKind::Timik, 1);
     let cfg = ComparisonConfig {
-        scenario: ScenarioConfig { n_participants: 200, time_steps: 60, seed: 11, ..ScenarioConfig::default() },
+        scenario: ScenarioConfig {
+            n_participants: 200,
+            time_steps: 60,
+            seed: 11,
+            ..ScenarioConfig::default()
+        },
         train_seed: 12,
         beta: 0.5,
         alpha,

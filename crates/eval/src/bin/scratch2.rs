@@ -1,4 +1,4 @@
-use poshgnn::{PoshGnn, PoshGnnConfig, AfterRecommender};
+use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig};
 use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
 use xr_eval::{build_contexts, pick_targets};
 
@@ -21,6 +21,6 @@ fn main() {
             let above: usize = soft.iter().filter(|&&x| x > 0.5).count();
             print!("  [tgt{} #>0.5 {:3}]", i, above);
         }
-        println!("  loss {:8.3} (epoch {})", h.last().unwrap(), (epoch+1)*15);
+        println!("  loss {:8.3} (epoch {})", h.last().unwrap(), (epoch + 1) * 15);
     }
 }

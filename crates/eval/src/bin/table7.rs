@@ -13,7 +13,8 @@ fn main() {
     let fractions = [0.75, 0.5, 0.25];
     let mut rows = Vec::new();
     for &vr in &fractions {
-        let scenario_cfg = ScenarioConfig { vr_fraction: vr, time_steps: 50, seed: 107, ..ScenarioConfig::default() };
+        let scenario_cfg =
+            ScenarioConfig { vr_fraction: vr, time_steps: 50, seed: 107, ..ScenarioConfig::default() };
         let test_scenario = dataset.sample_scenario(&scenario_cfg);
         let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 207, ..scenario_cfg });
         let test_ctx = build_contexts(&test_scenario, &pick_targets(&test_scenario, 3, 7), 0.5);
@@ -29,6 +30,7 @@ fn main() {
         text.push_str(&format!("{:>12}", format!("VR = {:.0}%", vr * 100.0)));
     }
     text.push('\n');
+    #[allow(clippy::type_complexity)] // local row-formatter table
     let metric_rows: [(&str, fn(&xr_eval::MethodResult) -> String); 3] = [
         ("AFTER Utility ^", |r| format!("{:.1}", r.mean.after_utility)),
         ("Preference ^", |r| format!("{:.1}", r.mean.preference)),

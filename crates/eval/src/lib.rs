@@ -6,20 +6,25 @@
 //!   Welch's t-test with incomplete-beta p-values.
 //! * [`runner`] — method training/timing/evaluation, the eight-method
 //!   comparison (Tables II–IV), and the ablation runner (Table V).
+//! * [`par`] — scoped-thread work-queue parallelism for the independent
+//!   (method × scenario × seed) experiment cells; `AFTER_THREADS` overrides
+//!   the worker count, and results are identical at any thread count.
 //! * [`userstudy`] — the 48-participant user-study simulator (Fig. 4 and
 //!   Table VIII).
 //!
 //! The table/figure regeneration binaries live in `src/bin/` — one per paper
 //! artifact (`table2` … `table8`, `fig2_walkthrough`, `fig4`).
 
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod stats;
 pub mod userstudy;
 
+pub use par::{par_map_indexed, par_map_indexed_with, thread_count};
 pub use runner::{
-    build_contexts, pick_targets, run_ablation, run_comparison, run_method, Comparison, DelayedRecommender,
-    ComparisonConfig, MethodResult, RenderAllRecommender,
+    build_contexts, pick_targets, run_ablation, run_comparison, run_method, Comparison, ComparisonConfig,
+    DelayedRecommender, MethodResult, RenderAllRecommender,
 };
 pub use stats::{mean, pearson, spearman, std_dev, variance, welch_t_test, WelchResult};
 pub use userstudy::{run_user_study, CorrelationTable, StudyOutcome, UserStudyConfig, UserStudyResult};

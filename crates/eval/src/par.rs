@@ -1,0 +1,125 @@
+//! Minimal scoped-thread work-queue parallelism for the experiment runner.
+//!
+//! The comparison/ablation/sensitivity drivers decompose into independent
+//! (method × scenario × seed) cells. Every cell derives its randomness from
+//! fixed per-cell seeds, never from a shared RNG, so the tables regenerate
+//! **identically at any thread count** — only wall-clock timing columns vary.
+//!
+//! Implemented on `std::thread::scope` with an atomic index queue: no
+//! external dependency, no unsafe, and workers borrow the shared read-only
+//! inputs (scenarios, contexts) directly from the caller's stack.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: the `AFTER_THREADS` environment variable when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+///
+/// `AFTER_THREADS=1` forces the sequential path — useful for timing
+/// baselines and for the determinism tests that compare thread counts.
+pub fn thread_count() -> usize {
+    match std::env::var("AFTER_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("warning: ignoring invalid AFTER_THREADS={v:?}");
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Maps `f` over `0..n` on [`thread_count`] scoped workers, returning the
+/// results in index order (element `i` is `f(i)`).
+///
+/// Work is distributed dynamically through an atomic counter, so uneven cell
+/// costs (COMURNet vs. Random) still balance. With one worker — or one item —
+/// this degrades to a plain sequential loop on the calling thread. A panic in
+/// `f` propagates to the caller when the scope joins.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_indexed_with(thread_count(), n, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count — the building block
+/// the default entry point wraps, and what the tests use to exercise the
+/// threaded path regardless of the host's core count.
+pub fn par_map_indexed_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("worker skipped a slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // forced to 4 workers so the threaded path runs even on 1-core hosts
+        let out = par_map_indexed_with(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, |i| i + 7), vec![7]);
+        assert_eq!(par_map_indexed_with(8, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uneven_work_still_covers_every_index() {
+        // later indices are much cheaper: dynamic scheduling must not drop any
+        let out = par_map_indexed_with(4, 23, |i| {
+            let spin = if i < 3 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            (i, std::hint::black_box(acc))
+        });
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.0, i);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -101,13 +101,7 @@ pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) ->
             computed.push(decision);
         }
         let recs: Vec<Vec<bool>> = (0..=ctx.t_max())
-            .map(|t| {
-                if t >= latency {
-                    computed[t - latency].clone()
-                } else {
-                    vec![false; ctx.n]
-                }
-            })
+            .map(|t| if t >= latency { computed[t - latency].clone() } else { vec![false; ctx.n] })
             .collect();
         per_target.push(evaluate_sequence(ctx, &recs));
     }
@@ -179,84 +173,98 @@ pub fn build_contexts(scenario: &Scenario, targets: &[usize], beta: f64) -> Vec<
     targets.iter().map(|&t| TargetContext::new(scenario, t, beta)).collect()
 }
 
+/// The test/train scenarios and target contexts shared by every method cell
+/// of a comparison. Built once, then borrowed read-only by all workers.
+struct ComparisonInputs {
+    test_scenario: Scenario,
+    test_ctx: Vec<TargetContext>,
+    train_ctx: Vec<TargetContext>,
+}
+
+impl ComparisonInputs {
+    fn build(dataset: &Dataset, cfg: &ComparisonConfig) -> Self {
+        let test_scenario = dataset.sample_scenario(&cfg.scenario);
+        let train_scenario =
+            dataset.sample_scenario(&ScenarioConfig { seed: cfg.train_seed, ..cfg.scenario });
+        let targets = pick_targets(&test_scenario, cfg.n_targets, cfg.scenario.seed ^ 0x7A46);
+        let train_targets = pick_targets(&train_scenario, cfg.n_targets, cfg.train_seed ^ 0x7A46);
+        let test_ctx = build_contexts(&test_scenario, &targets, cfg.beta);
+        let train_ctx = build_contexts(&train_scenario, &train_targets, cfg.beta);
+        ComparisonInputs { test_scenario, test_ctx, train_ctx }
+    }
+}
+
+/// Trains (where applicable) and evaluates comparison method `method`
+/// (0 = POSHGNN … 7 = COMURNet). One independent parallel cell: all
+/// randomness comes from fixed per-method seeds, never a shared RNG.
+fn run_comparison_cell(method: usize, cfg: &ComparisonConfig, inp: &ComparisonInputs) -> MethodResult {
+    let loss = poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha };
+    match method {
+        0 => {
+            let mut posh = PoshGnn::new(PoshGnnConfig { loss, ..Default::default() });
+            posh.train(&inp.train_ctx, cfg.train_epochs);
+            run_method(&mut posh, &inp.test_ctx)
+        }
+        1 => run_method(&mut RandomRecommender::new(cfg.top_k, 1234), &inp.test_ctx),
+        2 => run_method(&mut NearestRecommender::new(cfg.top_k), &inp.test_ctx),
+        3 => {
+            // static learned baseline fit on the scenario's social structure
+            let k_clusters = (inp.test_scenario.n() / 10).max(2);
+            let mut mvagc = MvAgcRecommender::fit(&inp.test_scenario, k_clusters, 2, 77);
+            run_method(&mut mvagc, &inp.test_ctx)
+        }
+        4 => {
+            let mut grafrank = GraFrankRecommender::fit(
+                &inp.test_scenario,
+                GraFrankConfig { top_k: cfg.top_k, ..Default::default() },
+            );
+            run_method(&mut grafrank, &inp.test_ctx)
+        }
+        5 | 6 => {
+            // recurrent baselines, trained with the POSHGNN loss
+            let kind = if method == 5 { RnnKind::Dcrnn } else { RnnKind::Tgcn };
+            let mut rnn = RnnRecommender::new(kind, RnnConfig { loss, ..Default::default() });
+            rnn.train(&inp.train_ctx, cfg.train_epochs);
+            run_method(&mut rnn, &inp.test_ctx)
+        }
+        7 => run_method(&mut ComurNetRecommender::new(ComurNetConfig::default()), &inp.test_ctx),
+        _ => unreachable!("comparison has at most 8 methods"),
+    }
+}
+
 /// Runs the full eight-method comparison on one dataset (the engine behind
 /// Tables II, III, and IV).
+///
+/// Method cells run in parallel on [`crate::par::thread_count`] scoped
+/// workers (override with `AFTER_THREADS`). Every cell is seeded
+/// independently, so the resulting table is identical at any thread count —
+/// only the wall-clock `ms_per_step` column varies run to run.
 pub fn run_comparison(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
-    let test_scenario = dataset.sample_scenario(&cfg.scenario);
-    let train_scenario =
-        dataset.sample_scenario(&ScenarioConfig { seed: cfg.train_seed, ..cfg.scenario });
-
-    let targets = pick_targets(&test_scenario, cfg.n_targets, cfg.scenario.seed ^ 0x7A46);
-    let train_targets = pick_targets(&train_scenario, cfg.n_targets, cfg.train_seed ^ 0x7A46);
-    let test_ctx = build_contexts(&test_scenario, &targets, cfg.beta);
-    let train_ctx = build_contexts(&train_scenario, &train_targets, cfg.beta);
-
-    let mut results = Vec::new();
-
-    // POSHGNN (trained)
-    let mut posh = PoshGnn::new(PoshGnnConfig {
-        loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
-        ..Default::default()
-    });
-    posh.train(&train_ctx, cfg.train_epochs);
-    results.push(run_method(&mut posh, &test_ctx));
-
-    // trivial baselines
-    results.push(run_method(&mut RandomRecommender::new(cfg.top_k, 1234), &test_ctx));
-    results.push(run_method(&mut NearestRecommender::new(cfg.top_k), &test_ctx));
-
-    // static learned baselines (fit on the scenario's social structure)
-    let k_clusters = (test_scenario.n() / 10).max(2);
-    let mut mvagc = MvAgcRecommender::fit(&test_scenario, k_clusters, 2, 77);
-    results.push(run_method(&mut mvagc, &test_ctx));
-    let mut grafrank = GraFrankRecommender::fit(
-        &test_scenario,
-        GraFrankConfig { top_k: cfg.top_k, ..Default::default() },
-    );
-    results.push(run_method(&mut grafrank, &test_ctx));
-
-    // recurrent baselines (trained with the POSHGNN loss)
-    let rnn_cfg = RnnConfig {
-        loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
-        ..Default::default()
-    };
-    let mut dcrnn = RnnRecommender::new(RnnKind::Dcrnn, rnn_cfg);
-    dcrnn.train(&train_ctx, cfg.train_epochs);
-    results.push(run_method(&mut dcrnn, &test_ctx));
-    let mut tgcn = RnnRecommender::new(RnnKind::Tgcn, rnn_cfg);
-    tgcn.train(&train_ctx, cfg.train_epochs);
-    results.push(run_method(&mut tgcn, &test_ctx));
-
-    if cfg.include_comurnet {
-        let mut comur = ComurNetRecommender::new(ComurNetConfig::default());
-        results.push(run_method(&mut comur, &test_ctx));
-    }
-
+    let inputs = ComparisonInputs::build(dataset, cfg);
+    let n_methods = if cfg.include_comurnet { 8 } else { 7 };
+    let results = crate::par::par_map_indexed(n_methods, |m| run_comparison_cell(m, cfg, &inputs));
     Comparison { dataset: dataset.kind.name().to_string(), results }
 }
 
 /// Runs the Table V ablation: Full vs PDR+MIA vs PDR-only POSHGNN.
+///
+/// The three variants are independent cells and run in parallel, like
+/// [`run_comparison`].
 pub fn run_ablation(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
-    let test_scenario = dataset.sample_scenario(&cfg.scenario);
-    let train_scenario =
-        dataset.sample_scenario(&ScenarioConfig { seed: cfg.train_seed, ..cfg.scenario });
-    let targets = pick_targets(&test_scenario, cfg.n_targets, cfg.scenario.seed ^ 0x7A46);
-    let train_targets = pick_targets(&train_scenario, cfg.n_targets, cfg.train_seed ^ 0x7A46);
-    let test_ctx = build_contexts(&test_scenario, &targets, cfg.beta);
-    let train_ctx = build_contexts(&train_scenario, &train_targets, cfg.beta);
-
-    let mut results = Vec::new();
-    for variant in [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly] {
+    let inputs = ComparisonInputs::build(dataset, cfg);
+    let variants = [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly];
+    let results = crate::par::par_map_indexed(variants.len(), |i| {
+        let variant = variants[i];
         let mut model = PoshGnn::new(PoshGnnConfig {
             variant,
             loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
             ..Default::default()
         });
-        model.train(&train_ctx, cfg.train_epochs);
-        let mut r = run_method(&mut model, &test_ctx);
+        model.train(&inputs.train_ctx, cfg.train_epochs);
+        let mut r = run_method(&mut model, &inputs.test_ctx);
         r.name = variant.name().to_string();
-        results.push(r);
-    }
+        r
+    });
     Comparison { dataset: dataset.kind.name().to_string(), results }
 }
 
@@ -378,10 +386,7 @@ mod tests {
         let dataset = Dataset::generate(DatasetKind::Hubs, 1);
         let cmp = run_comparison(&dataset, &tiny_cfg(3));
         let names: Vec<&str> = cmp.results.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(
-            names,
-            vec!["POSHGNN", "Random", "Nearest", "MvAGC", "GraFrank", "DCRNN", "TGCN"]
-        );
+        assert_eq!(names, vec!["POSHGNN", "Random", "Nearest", "MvAGC", "GraFrank", "DCRNN", "TGCN"]);
         // every method produced finite metrics
         for r in &cmp.results {
             assert!(r.mean.after_utility.is_finite(), "{} broke", r.name);
@@ -398,6 +403,38 @@ mod tests {
         let cmp = run_ablation(&dataset, &tiny_cfg(4));
         let names: Vec<&str> = cmp.results.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, vec!["Full", "PDR w/ MIA", "Only PDR"]);
+    }
+
+    #[test]
+    fn comparison_rows_identical_at_any_thread_count() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cfg = tiny_cfg(8);
+        // 4 threads regardless of host core count, then strictly sequential
+        std::env::set_var("AFTER_THREADS", "4");
+        let auto = run_comparison(&dataset, &cfg);
+        std::env::set_var("AFTER_THREADS", "1");
+        let single = run_comparison(&dataset, &cfg);
+        std::env::remove_var("AFTER_THREADS");
+
+        assert_eq!(auto.results.len(), single.results.len());
+        for (a, s) in auto.results.iter().zip(&single.results) {
+            // every table field must match bit-for-bit except the wall-clock
+            // ms_per_step column
+            assert_eq!(a.name, s.name);
+            assert_eq!(a.mean.after_utility.to_bits(), s.mean.after_utility.to_bits(), "{}", a.name);
+            assert_eq!(a.mean.preference.to_bits(), s.mean.preference.to_bits(), "{}", a.name);
+            assert_eq!(a.mean.social_presence.to_bits(), s.mean.social_presence.to_bits(), "{}", a.name);
+            assert_eq!(
+                a.mean.view_occlusion_rate.to_bits(),
+                s.mean.view_occlusion_rate.to_bits(),
+                "{}",
+                a.name
+            );
+            assert_eq!(a.per_target.len(), s.per_target.len());
+            for (pa, ps) in a.per_target.iter().zip(&s.per_target) {
+                assert_eq!(pa.after_utility.to_bits(), ps.after_utility.to_bits(), "{}", a.name);
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,9 @@ use xr_tensor::init::normal;
 
 use crate::runner::{build_contexts, run_method, MethodResult, RenderAllRecommender};
 use crate::stats::{mean, pearson, spearman};
-use xr_baselines::{ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender};
+use xr_baselines::{
+    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
+};
 
 /// Configuration of the simulated study.
 #[derive(Debug, Clone, Copy)]
@@ -137,9 +139,8 @@ pub fn run_user_study(config: &UserStudyConfig) -> UserStudyResult {
 
     // Questionnaire-derived β per participant.
     let betas: Vec<f64> = (0..config.participants).map(|_| rng.gen_range(0.3..0.7)).collect();
-    let contexts: Vec<TargetContext> = (0..config.participants)
-        .map(|i| TargetContext::new(&scenario, i, betas[i]))
-        .collect();
+    let contexts: Vec<TargetContext> =
+        (0..config.participants).map(|i| TargetContext::new(&scenario, i, betas[i])).collect();
 
     // Train POSHGNN once on the training room.
     let train_targets: Vec<usize> = (0..4).collect();
@@ -234,7 +235,12 @@ mod tests {
 
     #[test]
     fn feedback_correlates_with_utility() {
-        let result = run_user_study(&UserStudyConfig { participants: 12, time_steps: 8, train_epochs: 3, ..Default::default() });
+        let result = run_user_study(&UserStudyConfig {
+            participants: 12,
+            time_steps: 8,
+            train_epochs: 3,
+            ..Default::default()
+        });
         let corr = result.correlations();
         assert!(corr.pearson_after > 0.5, "Pearson too low: {}", corr.pearson_after);
         assert!(corr.spearman_after > 0.4, "Spearman too low: {}", corr.spearman_after);

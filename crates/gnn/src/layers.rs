@@ -1,7 +1,7 @@
 //! Core neural layers: dense (MLP) and graph-convolution layers.
 
 use rand::Rng;
-use xr_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
+use xr_tensor::{init, Matrix, ParamId, ParamStore, Tape, TapeLinOp, Var};
 
 /// Activation applied after a layer's affine map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,9 +91,7 @@ impl Mlp {
         assert!(dims.len() >= 2, "an MLP needs at least one layer");
         assert_eq!(activations.len(), dims.len() - 1, "one activation per layer");
         let layers = (0..dims.len() - 1)
-            .map(|i| {
-                Dense::new(store, &format!("{name}.{i}"), dims[i], dims[i + 1], activations[i], rng)
-            })
+            .map(|i| Dense::new(store, &format!("{name}.{i}"), dims[i], dims[i + 1], activations[i], rng))
             .collect();
         Mlp { layers }
     }
@@ -163,11 +161,24 @@ impl GcnLayer {
 
     /// Forward pass: `h (N × in_dim)`, `adj` the `N × N` adjacency constant.
     pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, h: Var<'t>, adj: Var<'t>) -> Var<'t> {
+        self.forward_agg(tape, store, h, &adj)
+    }
+
+    /// Forward pass generic over the adjacency representation: `adj` may be a
+    /// dense [`Var`] node or a sparse [`xr_tensor::SparseVar`] operand. The
+    /// sparse path turns the `A·H` aggregation from O(N²·d) into O(nnz·d).
+    pub fn forward_agg<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        h: Var<'t>,
+        adj: &impl TapeLinOp<'t>,
+    ) -> Var<'t> {
         let w1 = tape.param(store, self.w_self);
         let w2 = tape.param(store, self.w_neigh);
         let b = tape.param(store, self.bias);
         let own = h.matmul(w1);
-        let neigh = adj.matmul(h).matmul(w2);
+        let neigh = adj.left_matmul(h).matmul(w2);
         self.activation.apply((own + neigh).add_row_broadcast(b))
     }
 }
@@ -196,13 +207,7 @@ mod tests {
     fn mlp_depth_and_forward() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(
-            &mut store,
-            "mlp",
-            &[6, 8, 1],
-            &[Activation::Relu, Activation::Sigmoid],
-            &mut rng,
-        );
+        let mlp = Mlp::new(&mut store, "mlp", &[6, 8, 1], &[Activation::Relu, Activation::Sigmoid], &mut rng);
         assert_eq!(mlp.depth(), 2);
         let tape = Tape::new();
         let x = tape.constant(Matrix::ones(3, 6));
@@ -259,6 +264,28 @@ mod tests {
         let out = gcn.forward(&tape, &store, h, a).value();
         let expected = h_mat.add(&a_mat.matmul(&h_mat));
         assert!(out.approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn gcn_sparse_and_dense_adjacency_agree() {
+        use std::rc::Rc;
+        use xr_tensor::CsrAdj;
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let gcn = GcnLayer::new(&mut store, "g", 3, 2, Activation::Relu, &mut rng);
+        let h_mat = Matrix::from_fn(5, 3, |r, c| (r as f64) - 0.7 * c as f64);
+        let a_mat = Matrix::from_fn(5, 5, |r, c| if (r + 2 * c) % 3 == 0 && r != c { 0.5 } else { 0.0 });
+
+        let tape = Tape::new();
+        let dense =
+            gcn.forward(&tape, &store, tape.constant(h_mat.clone()), tape.constant(a_mat.clone())).value();
+
+        let tape2 = Tape::new();
+        let a_sparse = tape2.sparse(Rc::new(CsrAdj::from_dense(&a_mat, 0.0)));
+        let sparse = gcn.forward_agg(&tape2, &store, tape2.constant(h_mat), &a_sparse).value();
+
+        assert!(dense.approx_eq(&sparse, 1e-12));
     }
 
     #[test]

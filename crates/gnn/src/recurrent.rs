@@ -27,7 +27,13 @@ pub struct GruCell {
 
 impl GruCell {
     /// Registers GRU parameters.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden_dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let wz = store.register(format!("{name}.wz"), init::xavier_uniform(in_dim, hidden_dim, rng));
         let uz = store.register(format!("{name}.uz"), init::xavier_uniform(hidden_dim, hidden_dim, rng));
         let wr = store.register(format!("{name}.wr"), init::xavier_uniform(in_dim, hidden_dim, rng));
@@ -53,15 +59,10 @@ impl GruCell {
     /// One recurrence step: `x (N × in)`, `h (N × hidden)` → new hidden.
     pub fn step<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>, h: Var<'t>) -> Var<'t> {
         let p = |id| tape.param(store, id);
-        let z = (x.matmul(p(self.wz)) + h.matmul(p(self.uz)))
-            .add_row_broadcast(p(self.bz))
-            .sigmoid();
-        let r = (x.matmul(p(self.wr)) + h.matmul(p(self.ur)))
-            .add_row_broadcast(p(self.br))
-            .sigmoid();
-        let h_tilde = (x.matmul(p(self.wh)) + (r * h).matmul(p(self.uh)))
-            .add_row_broadcast(p(self.bh))
-            .tanh();
+        let z = (x.matmul(p(self.wz)) + h.matmul(p(self.uz))).add_row_broadcast(p(self.bz)).sigmoid();
+        let r = (x.matmul(p(self.wr)) + h.matmul(p(self.ur))).add_row_broadcast(p(self.br)).sigmoid();
+        let h_tilde =
+            (x.matmul(p(self.wh)) + (r * h).matmul(p(self.uh))).add_row_broadcast(p(self.bh)).tanh();
         z.one_minus() * h + z * h_tilde
     }
 }
@@ -145,7 +146,13 @@ impl DiffusionConv {
 
     /// Forward: `x (N × in)`, `transition` the row-normalized `N × N` random
     /// walk matrix `P`. Applies `Σ_k P^k X W_k` by iterated multiplication.
-    pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, x: Var<'t>, transition: Var<'t>) -> Var<'t> {
+    pub fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        store: &ParamStore,
+        x: Var<'t>,
+        transition: Var<'t>,
+    ) -> Var<'t> {
         let mut diffused = x;
         let mut acc = x.matmul(tape.param(store, self.weights[0]));
         for w in &self.weights[1..] {
@@ -365,7 +372,8 @@ mod tests {
         assert_eq!(cell.hidden_dim(), 6);
         let tape = Tape::new();
         let p = tape.constant(transition_matrix(
-            &Matrix::from_vec(4, 4, vec![0., 1., 0., 0., 1., 0., 1., 0., 0., 1., 0., 1., 0., 0., 1., 0.]).unwrap(),
+            &Matrix::from_vec(4, 4, vec![0., 1., 0., 0., 1., 0., 1., 0., 0., 1., 0., 1., 0., 0., 1., 0.])
+                .unwrap(),
         ));
         let mut h = tape.constant(Matrix::zeros(4, 6));
         for _ in 0..5 {

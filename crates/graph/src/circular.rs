@@ -217,11 +217,8 @@ mod tests {
         let a = ViewArc { center: 0.1, half_width: 0.2, distance: 1.0 };
         let b = ViewArc { center: std::f64::consts::TAU - 0.05, half_width: 0.2, distance: 1.0 };
         let c = ViewArc { center: 3.0, half_width: 0.2, distance: 1.0 };
-        let (ca, cb, cc) = (
-            CircArc::from_view_arc(&a),
-            CircArc::from_view_arc(&b),
-            CircArc::from_view_arc(&c),
-        );
+        let (ca, cb, cc) =
+            (CircArc::from_view_arc(&a), CircArc::from_view_arc(&b), CircArc::from_view_arc(&c));
         assert_eq!(a.intersects(&b), ca.intersects(&cb));
         assert_eq!(a.intersects(&c), ca.intersects(&cc));
         assert!(ca.intersects(&cb));
@@ -253,12 +250,7 @@ mod tests {
         for trial in 0..40 {
             let n = 14;
             let arcs: Vec<Option<CircArc>> = (0..n)
-                .map(|_| {
-                    Some(arc(
-                        rng.gen_range(0.0..std::f64::consts::TAU),
-                        rng.gen_range(0.05..0.9),
-                    ))
-                })
+                .map(|_| Some(arc(rng.gen_range(0.0..std::f64::consts::TAU), rng.gen_range(0.05..0.9))))
                 .collect();
             let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
 

@@ -46,9 +46,8 @@ impl DiskGig {
     /// A random unit-disk graph: `n` disks of radius `radius` with centers
     /// uniform in a `side × side` square.
     pub fn random_unit_disks(n: usize, side: f64, radius: f64, rng: &mut impl Rng) -> Self {
-        let centers = (0..n)
-            .map(|_| Point2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
-            .collect();
+        let centers =
+            (0..n).map(|_| Point2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))).collect();
         DiskGig::from_disks(centers, vec![radius; n])
     }
 
@@ -89,13 +88,7 @@ pub fn weights_to_preferences(weights: &[f64]) -> Vec<f64> {
     let denom = max + min;
     weights
         .iter()
-        .map(|&w| {
-            if denom.abs() < 1e-12 {
-                0.0
-            } else {
-                ((w + min) / denom).clamp(0.0, 1.0)
-            }
-        })
+        .map(|&w| if denom.abs() < 1e-12 { 0.0 } else { ((w + min) / denom).clamp(0.0, 1.0) })
         .collect()
 }
 

@@ -72,13 +72,7 @@ pub fn mwis_exact(g: &UGraph, weights: &[f64]) -> MwisSolution {
         let v = ctx.order[idx];
         // Branch 1: take v if allowed.
         if !blocked[v] && ctx.weights[v] > 0.0 {
-            let newly: Vec<usize> = ctx
-                .g
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&u| !blocked[u])
-                .collect();
+            let newly: Vec<usize> = ctx.g.neighbors(v).iter().copied().filter(|&u| !blocked[u]).collect();
             for &u in &newly {
                 blocked[u] = true;
             }
@@ -93,7 +87,8 @@ pub fn mwis_exact(g: &UGraph, weights: &[f64]) -> MwisSolution {
         branch(ctx, idx + 1, chosen, weight, blocked);
     }
 
-    let mut ctx = Ctx { g, weights, order: &order, suffix: &suffix_weight, best: Vec::new(), best_weight: 0.0 };
+    let mut ctx =
+        Ctx { g, weights, order: &order, suffix: &suffix_weight, best: Vec::new(), best_weight: 0.0 };
     let mut blocked = vec![false; n];
     branch(&mut ctx, 0, &mut Vec::new(), 0.0, &mut blocked);
     let best = ctx.best;
@@ -147,9 +142,8 @@ pub fn local_search_improve(g: &UGraph, weights: &[f64], start: &MwisSolution) -
         in_set[v] = true;
     }
 
-    let conflicts = |in_set: &[bool], v: usize| -> usize {
-        g.neighbors(v).iter().filter(|&&u| in_set[u]).count()
-    };
+    let conflicts =
+        |in_set: &[bool], v: usize| -> usize { g.neighbors(v).iter().filter(|&&u| in_set[u]).count() };
 
     let mut improved = true;
     while improved {

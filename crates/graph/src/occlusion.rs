@@ -61,11 +61,8 @@ impl OcclusionConverter {
         }
         // When the body disk contains the viewer (d <= r) the arc spans the
         // whole circle.
-        let half_width = if d <= self.body_radius {
-            std::f64::consts::PI
-        } else {
-            (self.body_radius / d).asin()
-        };
+        let half_width =
+            if d <= self.body_radius { std::f64::consts::PI } else { (self.body_radius / d).asin() };
         Some(ViewArc { center: rel.angle(), half_width, distance: d })
     }
 
@@ -75,13 +72,7 @@ impl OcclusionConverter {
         positions
             .iter()
             .enumerate()
-            .map(|(w, &p)| {
-                if w == target {
-                    None
-                } else {
-                    self.arc(positions[target], p)
-                }
-            })
+            .map(|(w, &p)| if w == target { None } else { self.arc(positions[target], p) })
             .collect()
     }
 
@@ -173,10 +164,7 @@ impl DynamicOcclusionGraph {
     pub fn from_static_graphs(graphs: Vec<UGraph>) -> Self {
         assert!(!graphs.is_empty(), "need at least one static graph");
         let n = graphs[0].node_count();
-        assert!(
-            graphs.iter().all(|g| g.node_count() == n),
-            "inconsistent node counts"
-        );
+        assert!(graphs.iter().all(|g| g.node_count() == n), "inconsistent node counts");
         DynamicOcclusionGraph { graphs, n }
     }
 

@@ -2,6 +2,8 @@
 
 use std::collections::BTreeSet;
 
+use xr_tensor::CsrAdj;
+
 /// An undirected simple graph over nodes `0..n`.
 ///
 /// Edges are stored both as a sorted edge set (for deterministic iteration
@@ -90,6 +92,25 @@ impl UGraph {
         a
     }
 
+    /// Sparse CSR adjacency (both `(u,v)` and `(v,u)` entries, value 1.0).
+    ///
+    /// Costs O(n + m) — unlike [`UGraph::adjacency_rowmajor`] there is no
+    /// O(n²) materialization, which is what makes per-step graph rebuilds
+    /// cheap at N=500.
+    pub fn adjacency_csr(&self) -> CsrAdj {
+        let mut entries = Vec::with_capacity(2 * self.edges.len());
+        for &(u, v) in &self.edges {
+            entries.push((u, v, 1.0));
+            entries.push((v, u, 1.0));
+        }
+        CsrAdj::from_entries(self.n, self.n, &entries)
+    }
+
+    /// Row-normalized sparse adjacency `D⁻¹A` (mean aggregation).
+    pub fn adjacency_norm_csr(&self) -> CsrAdj {
+        self.adjacency_csr().row_normalized()
+    }
+
     /// `true` when `set` is an independent set (no two members adjacent).
     pub fn is_independent_set(&self, set: &[usize]) -> bool {
         for (i, &u) in set.iter().enumerate() {
@@ -104,10 +125,7 @@ impl UGraph {
 
     /// Number of edges whose endpoints are both in `set` (0 iff independent).
     pub fn conflict_count(&self, in_set: &[bool]) -> usize {
-        self.edges
-            .iter()
-            .filter(|&&(u, v)| in_set[u] && in_set[v])
-            .count()
+        self.edges.iter().filter(|&&(u, v)| in_set[u] && in_set[v]).count()
     }
 
     /// Connected components, each a sorted node list, ordered by smallest node.
@@ -191,6 +209,23 @@ mod tests {
             }
         }
         assert_eq!(a.iter().sum::<f64>(), 4.0); // 2 edges × 2 entries
+    }
+
+    #[test]
+    fn csr_adjacency_matches_dense() {
+        let g = UGraph::from_edges(4, [(0, 1), (1, 2), (0, 3)]);
+        let csr = g.adjacency_csr();
+        assert_eq!(csr.nnz(), 6);
+        assert_eq!(csr.to_dense().into_vec(), g.adjacency_rowmajor());
+
+        let norm = g.adjacency_norm_csr();
+        let d = norm.to_dense();
+        for r in 0..4 {
+            let s: f64 = d.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+        // node 0 has degree 2 → each neighbor entry is 1/2
+        assert!((d[(0, 1)] - 0.5).abs() < 1e-12);
     }
 
     #[test]

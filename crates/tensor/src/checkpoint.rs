@@ -79,11 +79,7 @@ pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointE
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h == HEADER => {}
-        other => {
-            return Err(CheckpointError::Format(format!(
-                "bad header: {other:?} (expected {HEADER:?})"
-            )))
-        }
+        other => return Err(CheckpointError::Format(format!("bad header: {other:?} (expected {HEADER:?})"))),
     }
 
     let ids: Vec<_> = store.ids().collect();
@@ -133,8 +129,7 @@ pub fn from_string(store: &mut ParamStore, text: &str) -> Result<(), CheckpointE
                 rows * cols
             )));
         }
-        new_values
-            .push(Matrix::from_vec(rows, cols, data).expect("validated shape"));
+        new_values.push(Matrix::from_vec(rows, cols, data).expect("validated shape"));
     }
 
     // commit only after everything validated

@@ -5,7 +5,12 @@
 //!
 //! The crate provides exactly what a small graph-neural-network stack needs:
 //!
-//! * [`Matrix`] — dense row-major `f64` matrices with the usual kernels.
+//! * [`Matrix`] — dense row-major `f64` matrices with the usual kernels
+//!   (matmul is cache-blocked; the reference loop stays as
+//!   [`Matrix::matmul_naive`]).
+//! * [`CsrAdj`] — CSR sparse matrices with an SpMM kernel
+//!   ([`CsrAdj::matmul_dense`]), sharing the [`LinOp`] trait with [`Matrix`]
+//!   so graph aggregation can run dense or sparse interchangeably.
 //! * [`Tape`] / [`Var`] — a define-by-run autodiff engine. Operations on
 //!   [`Var`] handles are recorded on the tape; [`Var::backward`] accumulates
 //!   gradients into a [`ParamStore`].
@@ -41,8 +46,10 @@ pub mod checkpoint;
 pub mod init;
 pub mod matrix;
 pub mod optim;
+pub mod sparse;
 pub mod tape;
 
 pub use matrix::{Matrix, ShapeError};
 pub use optim::{Adam, Optimizer, Sgd};
-pub use tape::{ParamId, ParamStore, Tape, Var};
+pub use sparse::{CsrAdj, LinOp};
+pub use tape::{ParamId, ParamStore, SparseVar, Tape, TapeLinOp, Var};

@@ -13,8 +13,10 @@
 //! simple reverse iteration.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use crate::matrix::Matrix;
+use crate::sparse::CsrAdj;
 
 /// Identifier of a trainable parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -161,9 +163,7 @@ impl ParamStore {
         let mut offset = 0;
         for s in &mut self.slots {
             let n = s.value.len();
-            s.value
-                .as_mut_slice()
-                .copy_from_slice(&flat[offset..offset + n]);
+            s.value.as_mut_slice().copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
         true
@@ -195,6 +195,9 @@ enum Op {
     RowBroadcastAdd(usize, usize),
     /// Complement `1 - a`.
     OneMinus(usize),
+    /// SpMM `A · x` where `A` is the sparse operand at the given registry
+    /// index and `x` the dense node.
+    Spmm(usize, usize),
 }
 
 struct Node {
@@ -202,10 +205,24 @@ struct Node {
     op: Op,
 }
 
+/// A sparse operand registered on the tape, with its transpose computed
+/// lazily (at most once per tape) for the backward pass.
+struct SparseSlot {
+    mat: Rc<CsrAdj>,
+    transpose: RefCell<Option<Rc<CsrAdj>>>,
+}
+
+impl SparseSlot {
+    fn transposed(&self) -> Rc<CsrAdj> {
+        self.transpose.borrow_mut().get_or_insert_with(|| Rc::new(self.mat.transpose())).clone()
+    }
+}
+
 /// Records a computation graph for reverse-mode differentiation.
 #[derive(Default)]
 pub struct Tape {
     nodes: RefCell<Vec<Node>>,
+    sparse: RefCell<Vec<SparseSlot>>,
 }
 
 impl Tape {
@@ -241,14 +258,26 @@ impl Tape {
         self.push(store.value(id).clone(), Op::Param(id))
     }
 
+    /// Registers a sparse operand for use in [`SparseVar::matmul`].
+    ///
+    /// The matrix itself is differentiation-constant (like
+    /// [`Tape::constant`]): gradients flow through the dense operand of an
+    /// SpMM, never into the sparse values. Registering is cheap (an `Rc`
+    /// clone); the same handle can left-multiply many nodes, and the
+    /// transpose needed by the backward pass is computed at most once.
+    pub fn sparse(&self, mat: Rc<CsrAdj>) -> SparseVar<'_> {
+        let mut sparse = self.sparse.borrow_mut();
+        sparse.push(SparseSlot { mat, transpose: RefCell::new(None) });
+        SparseVar { tape: self, idx: sparse.len() - 1 }
+    }
+
     /// Horizontal concatenation of several vars with equal row counts.
     pub fn concat_cols<'t>(&'t self, parts: &[Var<'t>]) -> Var<'t> {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
         let (value, meta) = {
             let nodes = self.nodes.borrow();
             let mats: Vec<&Matrix> = parts.iter().map(|v| &nodes[v.id].value).collect();
-            let meta: Vec<(usize, usize)> =
-                parts.iter().map(|v| (v.id, nodes[v.id].value.cols())).collect();
+            let meta: Vec<(usize, usize)> = parts.iter().map(|v| (v.id, nodes[v.id].value.cols())).collect();
             (Matrix::concat_cols_all(&mats), meta)
         };
         self.push(value, Op::ConcatCols(meta))
@@ -271,6 +300,64 @@ impl Tape {
             f(&nodes[a.id].value, &nodes[b.id].value)
         };
         self.push(value, op(a.id, b.id))
+    }
+}
+
+/// Handle to a sparse operand registered on a [`Tape`] via [`Tape::sparse`].
+///
+/// Unlike [`Var`], this is not a node: it holds no dense value and receives
+/// no gradient. Its only operation is left-multiplying a dense node
+/// ([`SparseVar::matmul`]), which records an SpMM node whose backward pass
+/// routes `Aᵀ·G` into the dense operand.
+#[derive(Clone, Copy)]
+pub struct SparseVar<'t> {
+    tape: &'t Tape,
+    idx: usize,
+}
+
+impl<'t> SparseVar<'t> {
+    /// Shape of the sparse operand.
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.sparse.borrow()[self.idx].mat.shape()
+    }
+
+    /// Number of stored entries of the sparse operand.
+    pub fn nnz(&self) -> usize {
+        self.tape.sparse.borrow()[self.idx].mat.nnz()
+    }
+
+    /// SpMM node `A · x`: sparse-times-dense at O(nnz · cols) instead of
+    /// the dense product's O(rows² · cols).
+    pub fn matmul(self, x: Var<'t>) -> Var<'t> {
+        let value = {
+            let sparse = self.tape.sparse.borrow();
+            let nodes = self.tape.nodes.borrow();
+            sparse[self.idx].mat.matmul_dense(&nodes[x.id].value)
+        };
+        self.tape.push(value, Op::Spmm(self.idx, x.id))
+    }
+}
+
+/// A linear operator usable on a tape by left-multiplication — the tape-level
+/// counterpart of [`crate::sparse::LinOp`].
+///
+/// Implemented by dense [`Var`] nodes (recording a `MatMul`) and by
+/// [`SparseVar`] operands (recording an `Spmm`), so graph aggregation and the
+/// occlusion penalty can be written once and run on either representation.
+pub trait TapeLinOp<'t> {
+    /// `self · x`, recorded on the tape.
+    fn left_matmul(&self, x: Var<'t>) -> Var<'t>;
+}
+
+impl<'t> TapeLinOp<'t> for Var<'t> {
+    fn left_matmul(&self, x: Var<'t>) -> Var<'t> {
+        self.matmul(x)
+    }
+}
+
+impl<'t> TapeLinOp<'t> for SparseVar<'t> {
+    fn left_matmul(&self, x: Var<'t>) -> Var<'t> {
+        self.matmul(x)
     }
 }
 
@@ -307,14 +394,12 @@ impl<'t> Var<'t> {
 
     /// ReLU activation.
     pub fn relu(self) -> Var<'t> {
-        self.tape
-            .unary(self, |a| a.map(|x| if x > 0.0 { x } else { 0.0 }), Op::Relu)
+        self.tape.unary(self, |a| a.map(|x| if x > 0.0 { x } else { 0.0 }), Op::Relu)
     }
 
     /// Logistic sigmoid activation.
     pub fn sigmoid(self) -> Var<'t> {
-        self.tape
-            .unary(self, |a| a.map(|x| 1.0 / (1.0 + (-x).exp())), Op::Sigmoid)
+        self.tape.unary(self, |a| a.map(|x| 1.0 / (1.0 + (-x).exp())), Op::Sigmoid)
     }
 
     /// Hyperbolic tangent activation.
@@ -334,14 +419,12 @@ impl<'t> Var<'t> {
 
     /// Sum of all entries as a `1×1` node.
     pub fn sum(self) -> Var<'t> {
-        self.tape
-            .unary(self, |a| Matrix::from_vec(1, 1, vec![a.sum()]).unwrap(), Op::Sum)
+        self.tape.unary(self, |a| Matrix::from_vec(1, 1, vec![a.sum()]).unwrap(), Op::Sum)
     }
 
     /// Mean of all entries as a `1×1` node.
     pub fn mean(self) -> Var<'t> {
-        self.tape
-            .unary(self, |a| Matrix::from_vec(1, 1, vec![a.mean()]).unwrap(), Op::Mean)
+        self.tape.unary(self, |a| Matrix::from_vec(1, 1, vec![a.mean()]).unwrap(), Op::Mean)
     }
 
     /// Scalar multiple.
@@ -392,11 +475,7 @@ impl<'t> Var<'t> {
     /// Panics when called on a non-`1×1` node.
     pub fn backward(self, store: &mut ParamStore) {
         let nodes = self.tape.nodes.borrow();
-        assert_eq!(
-            nodes[self.id].value.shape(),
-            (1, 1),
-            "backward() must start from a scalar loss node"
-        );
+        assert_eq!(nodes[self.id].value.shape(), (1, 1), "backward() must start from a scalar loss node");
         let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
         grads[self.id] = Some(Matrix::ones(1, 1));
 
@@ -491,6 +570,15 @@ impl<'t> Var<'t> {
                         offset += width;
                     }
                 }
+                Op::Spmm(s, x) => {
+                    // d(A·X)/dX contracted with G is AᵀG; the sparse operand
+                    // itself is a constant, so nothing else flows.
+                    if !matches!(nodes[*x].op, Op::Const) {
+                        let at = self.tape.sparse.borrow()[*s].transposed();
+                        let gx = at.matmul_dense(&g);
+                        accumulate(&mut grads, *x, &gx, &nodes);
+                    }
+                }
                 Op::RowBroadcastAdd(a, b) => {
                     accumulate(&mut grads, *a, &g, &nodes);
                     // bias gradient: column-wise sum collapsed to one row.
@@ -513,11 +601,7 @@ fn accumulate(grads: &mut [Option<Matrix>], id: usize, g: &Matrix, nodes: &[Node
     if matches!(nodes[id].op, Op::Const) {
         return;
     }
-    debug_assert_eq!(
-        nodes[id].value.shape(),
-        g.shape(),
-        "gradient shape mismatch at node {id}"
-    );
+    debug_assert_eq!(nodes[id].value.shape(), g.shape(), "gradient shape mismatch at node {id}");
     match &mut grads[id] {
         Some(existing) => existing.add_assign(g),
         slot @ None => *slot = Some(g.clone()),
@@ -568,9 +652,7 @@ mod tests {
         let loss = (wv * c + wv).sum();
         assert_eq!(loss.scalar(), 2.0 * 5.0 + 2.0 + (-3.0 * 7.0) + (-3.0));
         loss.backward(&mut store);
-        assert!(store
-            .grad(w)
-            .approx_eq(&Matrix::from_vec(1, 2, vec![6.0, 8.0]).unwrap(), 1e-12));
+        assert!(store.grad(w).approx_eq(&Matrix::from_vec(1, 2, vec![6.0, 8.0]).unwrap(), 1e-12));
     }
 
     #[test]
@@ -584,9 +666,7 @@ mod tests {
         let loss = a.matmul(wv).sum();
         loss.backward(&mut store);
         // Aᵀ·ones(2,2) = [[4,4],[6,6]]
-        assert!(store
-            .grad(w)
-            .approx_eq(&Matrix::from_vec(2, 2, vec![4.0, 4.0, 6.0, 6.0]).unwrap(), 1e-12));
+        assert!(store.grad(w).approx_eq(&Matrix::from_vec(2, 2, vec![4.0, 4.0, 6.0, 6.0]).unwrap(), 1e-12));
     }
 
     #[test]
@@ -607,9 +687,7 @@ mod tests {
         let tape = Tape::new();
         let loss = tape.param(&store, w).relu().sum();
         loss.backward(&mut store);
-        assert!(store
-            .grad(w)
-            .approx_eq(&Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap(), 0.0));
+        assert!(store.grad(w).approx_eq(&Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap(), 0.0));
     }
 
     #[test]
@@ -726,6 +804,64 @@ mod tests {
         let loss2 = tape2.param(&store2, v).exp().sum();
         loss2.backward(&mut store2);
         assert!((store2.grad(v)[(0, 0)] - 1.5_f64.exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spmm_forward_matches_dense_and_backward_routes_transpose() {
+        // f = sum(A·X) with sparse A: dX = Aᵀ·1, same as the dense MatMul op.
+        let a_dense = Matrix::from_vec(3, 3, vec![0.0, 2.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 3.0]).unwrap();
+        let a_csr = Rc::new(CsrAdj::from_dense(&a_dense, 0.0));
+
+        let mut store_sparse = ParamStore::new();
+        let x_init = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f64 - 2.0);
+        let xs = store_sparse.register("x", x_init.clone());
+        let tape = Tape::new();
+        let a = tape.sparse(a_csr.clone());
+        assert_eq!(a.shape(), (3, 3));
+        assert_eq!(a.nnz(), 3);
+        let xv = tape.param(&store_sparse, xs);
+        let y = a.matmul(xv);
+        assert!(y.value().approx_eq(&a_dense.matmul(&x_init), 1e-12));
+        let loss = y.sum();
+        loss.backward(&mut store_sparse);
+
+        let mut store_dense = ParamStore::new();
+        let xd = store_dense.register("x", x_init.clone());
+        let tape2 = Tape::new();
+        let ad = tape2.constant(a_dense.clone());
+        let loss2 = ad.matmul(tape2.param(&store_dense, xd)).sum();
+        loss2.backward(&mut store_dense);
+
+        assert_eq!(loss.scalar(), loss2.scalar());
+        assert!(store_sparse.grad(xs).approx_eq(store_dense.grad(xd), 1e-12));
+    }
+
+    #[test]
+    fn spmm_through_constant_skips_gradient_work() {
+        // A·c with c constant must not panic and must not produce gradients.
+        let mut store = ParamStore::new();
+        let tape = Tape::new();
+        let a = tape.sparse(Rc::new(CsrAdj::from_dense(&Matrix::identity(2), 0.0)));
+        let c = tape.constant(Matrix::ones(2, 1));
+        let loss = a.matmul(c).sum();
+        loss.backward(&mut store);
+        assert_eq!(loss.scalar(), 2.0);
+    }
+
+    #[test]
+    fn spmm_occlusion_quadratic_form_gradient() {
+        // f = rᵀ(A·r) with sparse A: df/dr = (A + Aᵀ)r, the Eq. 4 penalty.
+        let mut store = ParamStore::new();
+        let r = store.register("r", Matrix::from_vec(2, 1, vec![1.0, 2.0]).unwrap());
+        let a_mat = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let tape = Tape::new();
+        let rv = tape.param(&store, r);
+        let a = tape.sparse(Rc::new(CsrAdj::from_dense(&a_mat, 0.0)));
+        let loss = rv.t().matmul(a.matmul(rv)).sum();
+        assert_eq!(loss.scalar(), 4.0);
+        loss.backward(&mut store);
+        let expected = a_mat.add(&a_mat.transpose()).matmul(store.value(r));
+        assert!(store.grad(r).approx_eq(&expected, 1e-12));
     }
 
     #[test]

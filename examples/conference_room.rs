@@ -12,7 +12,8 @@ use after_xr::xr_eval::{build_contexts, pick_targets, run_method};
 
 fn main() {
     let dataset = Dataset::generate(DatasetKind::Timik, 11);
-    let scenario_cfg = ScenarioConfig { n_participants: 150, time_steps: 80, seed: 1001, ..Default::default() };
+    let scenario_cfg =
+        ScenarioConfig { n_participants: 150, time_steps: 80, seed: 1001, ..Default::default() };
     let test_scenario = dataset.sample_scenario(&scenario_cfg);
     let train_scenario = dataset.sample_scenario(&ScenarioConfig { seed: 2001, ..scenario_cfg });
 
@@ -36,7 +37,10 @@ fn main() {
     let mut nearest = NearestRecommender::new(10);
     let mut random = RandomRecommender::new(10, 99);
 
-    println!("\n{:<12}{:>14}{:>12}{:>14}{:>14}", "method", "AFTER utility", "preference", "social pres.", "occlusion");
+    println!(
+        "\n{:<12}{:>14}{:>12}{:>14}{:>14}",
+        "method", "AFTER utility", "preference", "social pres.", "occlusion"
+    );
     let mut posh_res = run_method(&mut posh, &test_ctx);
     for result in [
         &mut posh_res,

@@ -99,10 +99,7 @@ fn evaluation_respects_beta_decomposition() {
         let mut nearest = NearestRecommender::new(5);
         let recs = nearest.run_episode(&ctx);
         let b = evaluate_sequence(&ctx, &recs);
-        assert!(
-            b.consistent_with_beta(beta, 1e-9),
-            "decomposition broke at beta = {beta}"
-        );
+        assert!(b.consistent_with_beta(beta, 1e-9), "decomposition broke at beta = {beta}");
     }
 }
 
@@ -110,22 +107,12 @@ fn evaluation_respects_beta_decomposition() {
 fn mr_and_vr_targets_get_different_candidate_pools() {
     let dataset = Dataset::generate(DatasetKind::Smm, 10);
     let scenario = dataset.sample_scenario(&small_cfg(11));
-    let mr = scenario
-        .interfaces
-        .iter()
-        .position(|&i| i == after_xr::xr_datasets::Interface::Mr)
-        .unwrap();
-    let vr = scenario
-        .interfaces
-        .iter()
-        .position(|&i| i == after_xr::xr_datasets::Interface::Vr)
-        .unwrap();
+    let mr = scenario.interfaces.iter().position(|&i| i == after_xr::xr_datasets::Interface::Mr).unwrap();
+    let vr = scenario.interfaces.iter().position(|&i| i == after_xr::xr_datasets::Interface::Vr).unwrap();
     let ctx_mr = TargetContext::new(&scenario, mr, 0.5);
     let ctx_vr = TargetContext::new(&scenario, vr, 0.5);
 
-    let pool = |ctx: &TargetContext| -> usize {
-        ctx.candidate_mask[0].iter().filter(|&&b| b).count()
-    };
+    let pool = |ctx: &TargetContext| -> usize { ctx.candidate_mask[0].iter().filter(|&&b| b).count() };
     // the VR target sees everyone as a candidate; the MR target may lose
     // candidates behind physical bodies
     assert_eq!(pool(&ctx_vr), scenario.n() - 1);
