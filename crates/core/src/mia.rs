@@ -70,6 +70,7 @@ impl Mia {
     /// `A_{t-1}` is taken from `ctx.occlusion[t-1]`; at `t = 0` the previous
     /// adjacency is the empty graph (the conference has not started).
     pub fn compute(&self, ctx: &TargetContext, t: usize) -> MiaOutput {
+        let _span = xr_obs::span!("poshgnn.mia.compute", t = t);
         let n = ctx.n;
         let adjacency_csr = Rc::new(ctx.occlusion[t].adjacency_csr());
         let prev_csr = if t == 0 { CsrAdj::empty(n, n) } else { ctx.occlusion[t - 1].adjacency_csr() };

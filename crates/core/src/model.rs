@@ -165,14 +165,19 @@ impl PoshGnn {
         };
 
         // PDR: h_t then r̃_t (Eq. 1 stack).
-        let h_t = self.pdr1.forward_agg(tape, &self.store, features, &agg);
-        let r_tilde = self.pdr2.forward_agg(tape, &self.store, h_t, &agg);
+        let (h_t, r_tilde) = {
+            let _pdr = xr_obs::span!("poshgnn.pdr.forward");
+            let h_t = self.pdr1.forward_agg(tape, &self.store, features, &agg);
+            let r_tilde = self.pdr2.forward_agg(tape, &self.store, h_t, &agg);
+            (h_t, r_tilde)
+        };
 
         let mask = tape.constant(mia_out.mask.clone());
         let r_t = match variant {
             PoshVariant::PdrOnly => r_tilde,
             PoshVariant::PdrWithMia => mask * r_tilde,
             PoshVariant::Full => {
+                let _lwp = xr_obs::span!("poshgnn.lwp.forward");
                 let delta = tape.constant(mia_out.delta.clone());
                 let lwp_in = tape.concat_cols(&[features, delta, h_prev, r_prev]);
                 let z1 = self.lwp1.forward_agg(tape, &self.store, lwp_in, &agg);
@@ -208,17 +213,21 @@ impl PoshGnn {
     /// the mean per-step loss after each epoch. One BPTT tape spans each
     /// episode, so gradients flow through the preservation gate across time.
     pub fn train(&mut self, contexts: &[TargetContext], epochs: usize) -> Vec<f64> {
+        let _span = xr_obs::span!("poshgnn.train", epochs = epochs, episodes = contexts.len());
         let mut history = Vec::with_capacity(epochs);
-        for _ in 0..epochs {
+        for epoch in 0..epochs {
+            let _epoch_span = xr_obs::span!("poshgnn.train.epoch", epoch = epoch);
             let mut epoch_loss = 0.0;
             let mut steps = 0usize;
             for ctx in contexts {
+                let episode_timer = xr_obs::start_timer();
                 let tape = Tape::new();
                 let n = ctx.n;
                 let mut h_prev = tape.constant(Matrix::zeros(n, self.config.hidden));
                 let mut r_prev = tape.constant(Matrix::zeros(n, 1));
                 let mut total: Option<Var<'_>> = None;
                 for t in 0..=ctx.t_max() {
+                    let step_timer = xr_obs::start_timer();
                     let mia_out = self.mia.compute(ctx, t);
                     let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
                     let l = if self.config.dense_kernels {
@@ -258,16 +267,21 @@ impl PoshGnn {
                     });
                     h_prev = h_t;
                     r_prev = r_t;
+                    xr_obs::observe_since("poshgnn.train.step.ms", &[], step_timer);
                 }
                 let t_steps = (ctx.t_max() + 1) as f64;
                 let loss = total.expect("episode has at least one step").scale(1.0 / t_steps);
                 epoch_loss += loss.scalar();
                 steps += 1;
                 loss.backward(&mut self.store);
-                self.store.clip_grad_norm(self.config.grad_clip);
+                let grad_norm = self.store.clip_grad_norm(self.config.grad_clip);
+                xr_obs::observe("poshgnn.train.grad_norm", &[], grad_norm);
                 self.optimizer.step(&mut self.store);
+                xr_obs::observe_since("poshgnn.train.episode.ms", &[], episode_timer);
             }
-            history.push(epoch_loss / steps.max(1) as f64);
+            let mean_loss = epoch_loss / steps.max(1) as f64;
+            xr_obs::gauge_set("poshgnn.train.loss", &[], mean_loss);
+            history.push(mean_loss);
         }
         history
     }
@@ -275,6 +289,7 @@ impl PoshGnn {
     /// The soft recommendation `r_t` for one step during inference,
     /// advancing the episode state.
     pub fn soft_recommend(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
+        let _span = xr_obs::span!("poshgnn.recommend.step", t = t, n = ctx.n);
         let (h_prev_m, r_prev_m) = self
             .episode_state
             .take()

@@ -246,6 +246,7 @@ impl CrowdSimulator {
 
     /// Advances the simulation by one time step.
     pub fn step(&mut self) {
+        let timer = xr_obs::start_timer();
         let n = self.agents.len();
         let states: Vec<AgentState> = self
             .agents
@@ -324,10 +325,12 @@ impl CrowdSimulator {
             agent.position = self.room.clamp(raw, agent.radius);
         }
         self.time += self.config.time_step;
+        xr_obs::observe_since("xr_crowd.sim.step.ms", &[], timer);
     }
 
     /// Runs `steps` steps, recording positions *after* each step.
     pub fn run_recording(&mut self, steps: usize) -> Vec<Vec<Point2>> {
+        let _span = xr_obs::span!("xr_crowd.sim.run", steps = steps, agents = self.agents.len());
         let mut frames = Vec::with_capacity(steps);
         for _ in 0..steps {
             self.step();

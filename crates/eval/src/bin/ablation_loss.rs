@@ -14,6 +14,7 @@ use xr_eval::report::emit;
 use xr_eval::runner::{build_contexts, pick_targets, run_method};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Timik, 9);
     let cfg = ScenarioConfig { n_participants: 120, time_steps: 60, seed: 901, ..Default::default() };
     let test_scenario = dataset.sample_scenario(&cfg);

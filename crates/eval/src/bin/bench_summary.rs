@@ -2,15 +2,17 @@
 //! vs. naive matmul, sparse vs. dense GNN kernels, grid vs. brute-force
 //! crowd neighbor queries, and serial vs. parallel experiment cells.
 //!
-//! Writes `BENCH_pr1.json` at the workspace root (next to `Cargo.toml`) and
-//! prints it to stdout. All "before" numbers are the pre-overhaul code
-//! paths, which are kept callable behind flags (`matmul_naive`,
-//! `dense_kernels`, `use_spatial_grid: false`, `AFTER_THREADS=1`), so the
-//! comparison runs both sides in one build.
+//! Writes `BENCH_pr2.json` at the workspace root (next to `Cargo.toml`) via
+//! the `xr_obs` JSON exporter and prints it to stdout. All "before" numbers
+//! are the pre-overhaul code paths, which are kept callable behind flags
+//! (`matmul_naive`, `dense_kernels`, `use_spatial_grid: false`,
+//! `AFTER_THREADS=1`), so the comparison runs both sides in one build.
 //!
 //! Usage: `cargo run --release -p xr-eval --bin bench_summary`
+//! Accepts `--trace[=PATH]` / `--metrics[=PATH]` (or `AFTER_TRACE` /
+//! `AFTER_METRICS`) to additionally capture the instrumented kernels'
+//! own telemetry while the benchmarks run.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use poshgnn::{PoshGnn, PoshGnnConfig};
@@ -21,6 +23,7 @@ use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
 use xr_eval::report::results_dir;
 use xr_eval::runner::{build_contexts, pick_targets, run_comparison, run_method, ComparisonConfig};
 use xr_graph::geom::Point2;
+use xr_obs::json::{num3, Json};
 use xr_tensor::{CsrAdj, Matrix};
 
 /// Median wall-clock milliseconds of `f` over `reps` runs (after one warmup).
@@ -41,30 +44,33 @@ fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
     Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap()
 }
 
-fn bench_matmul(out: &mut String) {
+fn bench_matmul() -> Json {
     let mut rng = StdRng::seed_from_u64(1);
-    out.push_str("  \"matmul\": [\n");
     let shapes = [(128usize, 128usize, 128usize), (256, 256, 256), (512, 512, 512), (200, 16, 200)];
-    for (idx, &(m, k, n)) in shapes.iter().enumerate() {
-        let a = random_matrix(m, k, &mut rng);
-        let b = random_matrix(k, n, &mut rng);
-        let naive = time_ms(5, || {
-            std::hint::black_box(a.matmul_naive(&b));
-        });
-        let blocked = time_ms(5, || {
-            std::hint::black_box(a.matmul(&b));
-        });
-        let comma = if idx + 1 < shapes.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"naive_ms\": {naive:.3}, \"blocked_ms\": {blocked:.3}, \"speedup\": {:.2}}}{comma}",
-            naive / blocked
-        );
-    }
-    out.push_str("  ],\n");
+    let rows: Vec<Json> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let naive = time_ms(5, || {
+                std::hint::black_box(a.matmul_naive(&b));
+            });
+            let blocked = time_ms(5, || {
+                std::hint::black_box(a.matmul(&b));
+            });
+            Json::obj()
+                .set("m", m)
+                .set("k", k)
+                .set("n", n)
+                .set("naive_ms", num3(naive))
+                .set("blocked_ms", num3(blocked))
+                .set("speedup", num3(naive / blocked))
+        })
+        .collect();
+    Json::from(rows)
 }
 
-fn bench_spmm(out: &mut String) {
+fn bench_spmm() -> Json {
     // adjacency with ~6 neighbors per node, the occlusion-graph regime
     let n = 500usize;
     let cols = 16usize;
@@ -84,15 +90,16 @@ fn bench_spmm(out: &mut String) {
     let sparse_ms = time_ms(9, || {
         std::hint::black_box(csr.matmul_dense(&x));
     });
-    let _ = writeln!(
-        out,
-        "  \"spmm\": {{\"n\": {n}, \"cols\": {cols}, \"nnz\": {}, \"dense_ms\": {dense_ms:.3}, \"sparse_ms\": {sparse_ms:.3}, \"speedup\": {:.2}}},",
-        csr.nnz(),
-        dense_ms / sparse_ms
-    );
+    Json::obj()
+        .set("n", n)
+        .set("cols", cols)
+        .set("nnz", csr.nnz())
+        .set("dense_ms", num3(dense_ms))
+        .set("sparse_ms", num3(sparse_ms))
+        .set("speedup", num3(dense_ms / sparse_ms))
 }
 
-fn bench_crowd(out: &mut String) {
+fn bench_crowd() -> Json {
     let n = 500usize;
     let mut rng = StdRng::seed_from_u64(3);
     let room = 22.0; // ~1 agent/m², the paper's dense-room regime
@@ -117,41 +124,41 @@ fn bench_crowd(out: &mut String) {
     };
     let brute_ms = run(false);
     let grid_ms = run(true);
-    let _ = writeln!(
-        out,
-        "  \"crowd_step\": {{\"n\": {n}, \"steps\": {steps}, \"brute_ms\": {brute_ms:.3}, \"grid_ms\": {grid_ms:.3}, \"speedup\": {:.2}}},",
-        brute_ms / grid_ms
-    );
+    Json::obj()
+        .set("n", n)
+        .set("steps", steps as u64)
+        .set("brute_ms", num3(brute_ms))
+        .set("grid_ms", num3(grid_ms))
+        .set("speedup", num3(brute_ms / grid_ms))
 }
 
-fn bench_poshgnn_step(out: &mut String) {
+fn bench_poshgnn_step() -> Json {
     let dataset = Dataset::generate(DatasetKind::Timik, 2);
-    out.push_str("  \"poshgnn_step\": [\n");
     let sizes = [100usize, 200];
-    for (idx, &n) in sizes.iter().enumerate() {
-        let scenario_cfg =
-            ScenarioConfig { n_participants: n, time_steps: 30, seed: 11, ..ScenarioConfig::default() };
-        let scenario = dataset.sample_scenario(&scenario_cfg);
-        let ctxs = build_contexts(&scenario, &pick_targets(&scenario, 2, 7), 0.5);
-        let mut ms = [0.0f64; 2];
-        for (slot, dense) in [(0usize, false), (1, true)] {
-            let mut model = PoshGnn::new(PoshGnnConfig { dense_kernels: dense, ..Default::default() });
-            model.train(&ctxs, 2); // params only; step cost is training-independent
-            ms[slot] = run_method(&mut model, &ctxs).ms_per_step;
-        }
-        let comma = if idx + 1 < sizes.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"n\": {n}, \"sparse_ms_per_step\": {:.3}, \"dense_ms_per_step\": {:.3}, \"speedup\": {:.2}}}{comma}",
-            ms[0],
-            ms[1],
-            ms[1] / ms[0]
-        );
-    }
-    out.push_str("  ],\n");
+    let rows: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            let scenario_cfg =
+                ScenarioConfig { n_participants: n, time_steps: 30, seed: 11, ..ScenarioConfig::default() };
+            let scenario = dataset.sample_scenario(&scenario_cfg);
+            let ctxs = build_contexts(&scenario, &pick_targets(&scenario, 2, 7), 0.5);
+            let mut ms = [0.0f64; 2];
+            for (slot, dense) in [(0usize, false), (1, true)] {
+                let mut model = PoshGnn::new(PoshGnnConfig { dense_kernels: dense, ..Default::default() });
+                model.train(&ctxs, 2); // params only; step cost is training-independent
+                ms[slot] = run_method(&mut model, &ctxs).ms_per_step;
+            }
+            Json::obj()
+                .set("n", n)
+                .set("sparse_ms_per_step", num3(ms[0]))
+                .set("dense_ms_per_step", num3(ms[1]))
+                .set("speedup", num3(ms[1] / ms[0]))
+        })
+        .collect();
+    Json::from(rows)
 }
 
-fn bench_parallel_runner(out: &mut String) {
+fn bench_parallel_runner() -> Json {
     let dataset = Dataset::generate(DatasetKind::Hubs, 1);
     let cfg = ComparisonConfig {
         scenario: ScenarioConfig { n_participants: 40, time_steps: 20, seed: 9, ..ScenarioConfig::default() },
@@ -172,33 +179,40 @@ fn bench_parallel_runner(out: &mut String) {
     let serial_s = wall(Some(1));
     let parallel_s = wall(None);
     std::env::remove_var("AFTER_THREADS");
-    let _ = writeln!(
-        out,
-        "  \"comparison_runner\": {{\"methods\": 7, \"threads\": {}, \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \"speedup\": {:.2}}}",
-        xr_eval::thread_count(),
-        serial_s / parallel_s
-    );
+    Json::obj()
+        .set("methods", 7u64)
+        .set("threads", xr_eval::thread_count())
+        .set("serial_s", num3(serial_s))
+        .set("parallel_s", num3(parallel_s))
+        .set("speedup", num3(serial_s / parallel_s))
 }
 
 fn main() {
-    let mut out = String::from("{\n");
+    let mut obs = xr_obs::init_cli_env();
     eprintln!("[1/5] blocked vs naive matmul");
-    bench_matmul(&mut out);
+    let matmul = bench_matmul();
     eprintln!("[2/5] sparse vs dense aggregation (SpMM)");
-    bench_spmm(&mut out);
+    let spmm = bench_spmm();
     eprintln!("[3/5] grid vs brute-force crowd neighbors");
-    bench_crowd(&mut out);
+    let crowd = bench_crowd();
     eprintln!("[4/5] POSHGNN recommend step, sparse vs dense kernels");
-    bench_poshgnn_step(&mut out);
+    let posh = bench_poshgnn_step();
     eprintln!("[5/5] comparison runner, 1 thread vs all cores");
-    bench_parallel_runner(&mut out);
-    out.push_str("}\n");
+    let runner = bench_parallel_runner();
 
-    println!("{out}");
+    let out = Json::obj()
+        .set("matmul", matmul)
+        .set("spmm", spmm)
+        .set("crowd_step", crowd)
+        .set("poshgnn_step", posh)
+        .set("comparison_runner", runner);
+    let text = out.pretty();
+    println!("{text}");
     let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
-    let path = root.join("BENCH_pr1.json");
-    match std::fs::write(&path, &out) {
+    let path = root.join("BENCH_pr2.json");
+    match std::fs::write(&path, format!("{text}\n")) {
         Ok(()) => eprintln!("[written to {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
+    obs.finish();
 }

@@ -16,6 +16,7 @@ use xr_eval::report::emit;
 use xr_eval::runner::{build_contexts, pick_targets, run_method, DelayedRecommender};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Smm, 3);
     let cfg = ScenarioConfig { seed: 103, ..ScenarioConfig::default() };
     let scenario = dataset.sample_scenario(&cfg);

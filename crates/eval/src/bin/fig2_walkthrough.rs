@@ -73,6 +73,7 @@ fn describe(ctx: &TargetContext, t: usize, rec: &[bool]) -> String {
 }
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let scenario = scene();
     let ctx = TargetContext::new(&scenario, 0, 0.5);
     let mut out = String::from("Fig. 2 walkthrough: user A's view under each approach\n\n");

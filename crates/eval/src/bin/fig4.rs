@@ -13,6 +13,7 @@ fn bar(value: f64, max: f64, width: usize) -> String {
 }
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let result = run_user_study(&UserStudyConfig::default());
     let mut text = String::from("Fig. 4: utility and user feedback in the (simulated) user study\n\n");
 

@@ -13,6 +13,7 @@ use xr_eval::report::emit;
 use xr_eval::runner::{build_contexts, pick_targets, run_method};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let mut text = String::from("Optimality gap: POSHGNN vs myopic MWIS oracle\n");
     text.push_str(&format!(
         "{:<10}{:>6}{:>16}{:>16}{:>12}{:>16}{:>16}\n",

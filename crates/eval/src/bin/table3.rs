@@ -8,6 +8,7 @@ use xr_eval::report::emit;
 use xr_eval::{run_comparison, ComparisonConfig};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Smm, 3);
     let cfg = ComparisonConfig::paper_defaults(dataset.default_scenario_config(103));
     let cmp = run_comparison(&dataset, &cfg);

@@ -8,6 +8,7 @@ use xr_eval::report::emit;
 use xr_eval::{run_ablation, ComparisonConfig};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Hubs, 4);
     let cfg = ComparisonConfig::paper_defaults(dataset.default_scenario_config(105));
     let cmp = run_ablation(&dataset, &cfg);

@@ -10,6 +10,7 @@ use xr_eval::report::emit;
 use xr_eval::runner::{build_contexts, pick_targets, run_method};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Smm, 6);
     let ns = [10usize, 20, 50, 100, 200, 500];
     // Each N-cell is independent and deterministically seeded, so the sweep

@@ -9,6 +9,7 @@ use xr_eval::report::emit;
 use xr_eval::runner::{build_contexts, pick_targets, run_method};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let dataset = Dataset::generate(DatasetKind::Smm, 7);
     let fractions = [0.75, 0.5, 0.25];
     let mut rows = Vec::new();

@@ -7,6 +7,7 @@ use xr_eval::report::emit;
 use xr_eval::{run_user_study, UserStudyConfig};
 
 fn main() {
+    let _obs = xr_obs::init_cli_env();
     let result = run_user_study(&UserStudyConfig::default());
     let c = result.correlations();
     let mut text = String::from("Table VIII: correlation analysis of utilities vs satisfaction\n");

@@ -14,6 +14,17 @@
 //!
 //! The table/figure regeneration binaries live in `src/bin/` — one per paper
 //! artifact (`table2` … `table8`, `fig2_walkthrough`, `fig4`).
+//!
+//! ## Observability
+//!
+//! The runner and binaries are instrumented with `xr_obs`: spans around the
+//! comparison/ablation drivers and every method cell, per-method wall-time
+//! histograms, and objective-value gauges. All binaries accept
+//! `--trace[=PATH]` / `--metrics[=PATH]` flags (or the `AFTER_TRACE` /
+//! `AFTER_METRICS` environment variables) to write a Chrome/Perfetto trace
+//! and a metrics snapshot; with neither set, the instrumentation is inert.
+//! [`par`] propagates the caller's sink context into its workers, so cell
+//! telemetry merges into one registry regardless of `AFTER_THREADS`.
 
 pub mod par;
 pub mod report;

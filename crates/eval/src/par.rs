@@ -8,6 +8,12 @@
 //! Implemented on `std::thread::scope` with an atomic index queue: no
 //! external dependency, no unsafe, and workers borrow the shared read-only
 //! inputs (scenarios, contexts) directly from the caller's stack.
+//!
+//! Observability: the caller's installed [`xr_obs::ObsCtx`] (if any) is
+//! propagated into every worker, so spans, events, and metrics recorded
+//! inside parallel cells land in the same registry/trace as the spawning
+//! thread's — and progress/warning output goes through `xr_obs` events
+//! instead of raw `eprintln!`, keeping multi-worker logs interleaving-safe.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -22,7 +28,7 @@ pub fn thread_count() -> usize {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
             _ => {
-                eprintln!("warning: ignoring invalid AFTER_THREADS={v:?}");
+                xr_obs::warn_event!("xr_eval.par.invalid_threads", ignored = format!("{v:?}"));
                 default_threads()
             }
         },
@@ -62,19 +68,33 @@ where
     }
     let workers = workers.min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n)
+            .map(|i| {
+                let value = f(i);
+                xr_obs::event!("xr_eval.par.item_done", index = i);
+                value
+            })
+            .collect();
     }
+    let ctx = xr_obs::current_ctx();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
+        let (f, next, slots) = (&f, &next, &slots);
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                // telemetry from this worker merges into the caller's sinks
+                let _obs = ctx.as_ref().map(xr_obs::ObsCtx::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                    xr_obs::event!("xr_eval.par.item_done", index = i);
                 }
-                let value = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(value);
             });
         }
     });
@@ -121,5 +141,19 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn observability_context_propagates_to_workers() {
+        let ctx = xr_obs::ObsCtx::new(true, false);
+        let _guard = ctx.install();
+        let out = par_map_indexed_with(4, 10, |i| {
+            xr_obs::counter_add("par.test.cells", &[], 1);
+            i
+        });
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("par.test.cells"), Some(10), "worker telemetry must merge");
+        assert_eq!(snap.counter("events.xr_eval.par.item_done"), Some(10));
     }
 }

@@ -86,6 +86,9 @@ pub struct MethodResult {
 /// `t + latency`, and nothing is displayed before the first delivery — the
 /// paper's practicality penalty (Fig. 2b) made concrete.
 pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) -> MethodResult {
+    let name = rec.name();
+    let _span = xr_obs::span!("xr_eval.run_method", method = name, targets = contexts.len());
+    let cell_timer = xr_obs::start_timer();
     let mut per_target = Vec::with_capacity(contexts.len());
     let mut total_ms = 0.0;
     let mut total_steps = 0usize;
@@ -105,12 +108,18 @@ pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) ->
             .collect();
         per_target.push(evaluate_sequence(ctx, &recs));
     }
-    MethodResult {
-        name: rec.name(),
-        mean: UtilityBreakdown::mean(&per_target),
-        per_target,
-        ms_per_step: total_ms / total_steps.max(1) as f64,
-    }
+    let mean = UtilityBreakdown::mean(&per_target);
+    let ms_per_step = total_ms / total_steps.max(1) as f64;
+    // per-method telemetry: cell wall time as a histogram (cells repeat
+    // across scenarios/seeds), objective values as gauges
+    let labels = [("method", name.as_str())];
+    xr_obs::observe_since("xr_eval.method.cell.ms", &labels, cell_timer);
+    xr_obs::observe("xr_eval.method.step.ms", &labels, ms_per_step);
+    xr_obs::gauge_set("xr_eval.method.after_utility", &labels, mean.after_utility);
+    xr_obs::gauge_set("xr_eval.method.preference", &labels, mean.preference);
+    xr_obs::gauge_set("xr_eval.method.social_presence", &labels, mean.social_presence);
+    xr_obs::gauge_set("xr_eval.method.view_occlusion_rate", &labels, mean.view_occlusion_rate);
+    MethodResult { name, mean, per_target, ms_per_step }
 }
 
 /// Configuration of a full method comparison (Tables II–IV).
@@ -240,9 +249,16 @@ fn run_comparison_cell(method: usize, cfg: &ComparisonConfig, inp: &ComparisonIn
 /// independently, so the resulting table is identical at any thread count —
 /// only the wall-clock `ms_per_step` column varies run to run.
 pub fn run_comparison(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
-    let inputs = ComparisonInputs::build(dataset, cfg);
+    let _span = xr_obs::span!("xr_eval.comparison", dataset = dataset.kind.name());
+    let inputs = {
+        let _build = xr_obs::span!("xr_eval.comparison.build_inputs");
+        ComparisonInputs::build(dataset, cfg)
+    };
     let n_methods = if cfg.include_comurnet { 8 } else { 7 };
-    let results = crate::par::par_map_indexed(n_methods, |m| run_comparison_cell(m, cfg, &inputs));
+    let results = crate::par::par_map_indexed(n_methods, |m| {
+        let _cell = xr_obs::span!("xr_eval.comparison.cell", method = m);
+        run_comparison_cell(m, cfg, &inputs)
+    });
     Comparison { dataset: dataset.kind.name().to_string(), results }
 }
 
@@ -251,10 +267,12 @@ pub fn run_comparison(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
 /// The three variants are independent cells and run in parallel, like
 /// [`run_comparison`].
 pub fn run_ablation(dataset: &Dataset, cfg: &ComparisonConfig) -> Comparison {
+    let _span = xr_obs::span!("xr_eval.ablation", dataset = dataset.kind.name());
     let inputs = ComparisonInputs::build(dataset, cfg);
     let variants = [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly];
     let results = crate::par::par_map_indexed(variants.len(), |i| {
         let variant = variants[i];
+        let _cell = xr_obs::span!("xr_eval.ablation.cell", variant = variant.name());
         let mut model = PoshGnn::new(PoshGnnConfig {
             variant,
             loss: poshgnn::LossParams { beta: cfg.beta, alpha: cfg.alpha },
@@ -434,6 +452,39 @@ mod tests {
             for (pa, ps) in a.per_target.iter().zip(&s.per_target) {
                 assert_eq!(pa.after_utility.to_bits(), ps.after_utility.to_bits(), "{}", a.name);
             }
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_identical_at_any_thread_count() {
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cfg = tiny_cfg(12);
+        let snapshot_with_threads = |threads: &str| {
+            std::env::set_var("AFTER_THREADS", threads);
+            let ctx = xr_obs::ObsCtx::new(true, false);
+            {
+                let _guard = ctx.install();
+                run_comparison(&dataset, &cfg);
+            }
+            std::env::remove_var("AFTER_THREADS");
+            ctx.registry.snapshot()
+        };
+        let single = snapshot_with_threads("1");
+        let multi = snapshot_with_threads("4");
+        // event/work counters merge exactly across workers
+        assert_eq!(single.counters, multi.counters);
+        // gauges hold deterministic objective values, so they match bit-for-bit
+        assert_eq!(single.gauges.len(), multi.gauges.len());
+        for ((ka, va), (kb, vb)) in single.gauges.iter().zip(&multi.gauges) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "{}", ka.display());
+        }
+        // histogram *values* are wall-clock timings, but the set of series and
+        // the observation counts are workload-determined
+        assert_eq!(single.histograms.len(), multi.histograms.len());
+        for ((ka, ha), (kb, hb)) in single.histograms.iter().zip(&multi.histograms) {
+            assert_eq!(ka, kb);
+            assert_eq!(ha.count, hb.count, "{}", ka.display());
         }
     }
 

@@ -1,0 +1,203 @@
+//! Session activation: env vars, CLI flags, and end-of-run file export.
+//!
+//! Binaries opt in with one line — `let _obs = xr_obs::init_cli_env();` —
+//! which reads `AFTER_TRACE=path.json` / `AFTER_METRICS=path.json` and the
+//! `--trace[=path]` / `--metrics[=path]` CLI flags, installs a matching
+//! [`ObsCtx`] on the main thread, and writes the requested files when the
+//! session drops (or [`ObsSession::finish`] is called explicitly).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::{InstallGuard, ObsCtx};
+
+/// Resolved activation options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Chrome-trace output path, when tracing was requested.
+    pub trace_path: Option<PathBuf>,
+    /// Metrics JSON output path, when metrics were requested.
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Options from `AFTER_TRACE` / `AFTER_METRICS` alone.
+    pub fn from_env() -> ObsOptions {
+        let path_var = |name: &str| -> Option<PathBuf> {
+            match std::env::var(name) {
+                Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v.trim())),
+                _ => None,
+            }
+        };
+        ObsOptions { trace_path: path_var("AFTER_TRACE"), metrics_path: path_var("AFTER_METRICS") }
+    }
+
+    /// Options from env vars plus CLI flags (flags win). Recognized flags:
+    /// `--trace`, `--trace=PATH`, `--metrics`, `--metrics=PATH`; the bare
+    /// forms default to `trace.json` / `metrics.json` in the working
+    /// directory. Unrelated arguments are ignored.
+    pub fn from_args_and_env<I, S>(args: I) -> ObsOptions
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = ObsOptions::from_env();
+        for arg in args {
+            let arg = arg.as_ref();
+            if arg == "--trace" {
+                opts.trace_path = Some(PathBuf::from("trace.json"));
+            } else if let Some(path) = arg.strip_prefix("--trace=") {
+                opts.trace_path = Some(PathBuf::from(path));
+            } else if arg == "--metrics" {
+                opts.metrics_path = Some(PathBuf::from("metrics.json"));
+            } else if let Some(path) = arg.strip_prefix("--metrics=") {
+                opts.metrics_path = Some(PathBuf::from(path));
+            }
+        }
+        opts
+    }
+
+    /// `true` when neither sink was requested.
+    pub fn is_empty(&self) -> bool {
+        self.trace_path.is_none() && self.metrics_path.is_none()
+    }
+}
+
+/// An activated observability session. Keep it alive for the duration of
+/// `main`; output files are written exactly once, by [`ObsSession::finish`]
+/// or on drop.
+pub struct ObsSession {
+    ctx: Option<Arc<ObsCtx>>,
+    options: ObsOptions,
+    finished: bool,
+    // Restores the previous thread context when the session ends. Declared
+    // after `ctx` only for readability — drop order is irrelevant because
+    // the guard holds its own Arc.
+    _guard: Option<InstallGuard>,
+}
+
+impl ObsSession {
+    /// An inert session: nothing installed, nothing written.
+    pub fn disabled() -> ObsSession {
+        ObsSession { ctx: None, options: ObsOptions::default(), finished: false, _guard: None }
+    }
+
+    /// Builds and installs a context per `options` on the current thread.
+    /// With empty options this is [`ObsSession::disabled`].
+    pub fn start(options: ObsOptions) -> ObsSession {
+        if options.is_empty() {
+            return ObsSession::disabled();
+        }
+        let ctx = ObsCtx::new(options.metrics_path.is_some(), options.trace_path.is_some());
+        let guard = ctx.install();
+        ObsSession { ctx: Some(ctx), options, finished: false, _guard: Some(guard) }
+    }
+
+    /// `true` when a context is installed.
+    pub fn active(&self) -> bool {
+        self.ctx.is_some()
+    }
+
+    /// The session's context (e.g. to install in extra threads).
+    pub fn ctx(&self) -> Option<&Arc<ObsCtx>> {
+        self.ctx.as_ref()
+    }
+
+    /// The resolved activation options.
+    pub fn options(&self) -> &ObsOptions {
+        &self.options
+    }
+
+    /// Writes the requested export files (idempotent; also runs on drop).
+    /// Reports each written path — or a write failure — on stderr.
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let Some(ctx) = &self.ctx else { return };
+        if let (Some(path), Some(trace)) = (&self.options.trace_path, &ctx.trace) {
+            write_report(path, &trace.to_chrome_json().compact(), "trace");
+        }
+        if let Some(path) = &self.options.metrics_path {
+            if ctx.metrics_on {
+                write_report(path, &ctx.registry.snapshot().to_json().pretty(), "metrics");
+            }
+        }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn write_report(path: &Path, contents: &str, what: &str) {
+    match std::fs::write(path, contents) {
+        Ok(()) => eprintln!("[{what} written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {what} to {}: {e}", path.display()),
+    }
+}
+
+/// Activates observability from `AFTER_TRACE` / `AFTER_METRICS` alone (no
+/// CLI parsing) — for tests and library embedders.
+pub fn init_from_env() -> ObsSession {
+    ObsSession::start(ObsOptions::from_env())
+}
+
+/// Activates observability from the process CLI arguments and environment:
+/// the one-liner for the table/figure binaries.
+pub fn init_cli_env() -> ObsSession {
+    ObsSession::start(ObsOptions::from_args_and_env(std::env::args().skip(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_and_default() {
+        // env interactions are covered by obs_smoke in CI; here only flags
+        let opts = ObsOptions::from_args_and_env(["--trace", "--metrics=m.json", "ignored"]);
+        assert_eq!(opts.trace_path.as_deref(), Some(Path::new("trace.json")));
+        assert_eq!(opts.metrics_path.as_deref(), Some(Path::new("m.json")));
+        let opts = ObsOptions::from_args_and_env(["--trace=t.json"]);
+        assert_eq!(opts.trace_path.as_deref(), Some(Path::new("t.json")));
+    }
+
+    #[test]
+    fn empty_options_mean_disabled_session() {
+        let session = ObsSession::start(ObsOptions::default());
+        assert!(!session.active());
+    }
+
+    #[test]
+    fn session_writes_files_once_on_finish() {
+        let dir = std::env::temp_dir().join(format!("xr_obs_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.json");
+        let metrics_path = dir.join("m.json");
+        {
+            let mut session = ObsSession::start(ObsOptions {
+                trace_path: Some(trace_path.clone()),
+                metrics_path: Some(metrics_path.clone()),
+            });
+            assert!(session.active());
+            crate::counter_add("s.calls", &[], 3);
+            {
+                let _span = crate::span!("s.phase");
+            }
+            session.finish();
+        }
+        let metrics = crate::Json::parse(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+        assert_eq!(
+            metrics.get("counters").and_then(|c| c.get("s.calls")).and_then(crate::Json::as_f64),
+            Some(3.0)
+        );
+        let trace = crate::Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+        let events = trace.get("traceEvents").and_then(crate::Json::as_arr).unwrap();
+        assert!(events.iter().any(|e| e.get("name").and_then(crate::Json::as_str) == Some("s.phase")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,277 @@
+//! Span/event tracing with a Chrome-trace (`chrome://tracing` / Perfetto)
+//! exporter.
+//!
+//! Spans are RAII guards created by the [`crate::span!`] macro. When no
+//! [`crate::ObsCtx`] is installed on the current thread the guard is a
+//! no-op containing `None` — no `Instant::now`, no allocation. When a sink
+//! is installed the guard records a monotonic start time, pushes its name on
+//! a thread-local span stack (so nesting depth is known without parsing
+//! timestamps), and on drop appends one complete ("X") event to the shared
+//! buffer and/or a duration observation to the metrics registry.
+//!
+//! The buffer is capped: beyond [`TraceSink::DEFAULT_CAP`] events new spans
+//! are counted as dropped instead of growing without bound, so tracing a
+//! long run degrades gracefully rather than exhausting memory.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+thread_local! {
+    /// Names of the open spans on this thread, outermost first.
+    static SPAN_STACK: std::cell::RefCell<Vec<&'static str>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Small per-thread id used as the Chrome-trace `tid`.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+fn current_tid() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+/// The dot-joined names of the spans currently open on this thread
+/// (empty when none — e.g. when no sink is installed).
+pub fn current_span_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("."))
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span or event name (`crate.component.phase`).
+    pub name: &'static str,
+    /// Chrome phase: `'X'` = complete span, `'i'` = instant event.
+    pub phase: char,
+    /// Microseconds since the sink's epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: f64,
+    /// Per-thread track id.
+    pub tid: u64,
+    /// Formatted `key=value` arguments.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// Shared, thread-safe trace buffer with a monotonic epoch.
+pub struct TraceSink {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    cap: usize,
+    dropped: AtomicUsize,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// Default event cap (~4M events, roughly a few hundred MB of JSON).
+    pub const DEFAULT_CAP: usize = 1 << 22;
+
+    /// An empty sink whose epoch is "now".
+    pub fn new() -> TraceSink {
+        TraceSink {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            cap: Self::DEFAULT_CAP,
+            dropped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Microseconds elapsed since the sink's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("trace buffer poisoned");
+        if events.len() >= self.cap {
+            drop(events);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(event);
+    }
+
+    /// Appends a complete span event.
+    pub fn complete(&self, name: &'static str, start_us: f64, args: Vec<(&'static str, String)>) {
+        let ts = start_us;
+        let dur = self.now_us() - start_us;
+        self.push(TraceEvent { name, phase: 'X', ts_us: ts, dur_us: dur, tid: current_tid(), args });
+    }
+
+    /// Appends an instant event.
+    pub fn instant(&self, name: &'static str, args: Vec<(&'static str, String)>) {
+        self.push(TraceEvent {
+            name,
+            phase: 'i',
+            ts_us: self.now_us(),
+            dur_us: 0.0,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events discarded after the cap was hit.
+    pub fn dropped(&self) -> usize {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Exports the buffer in Chrome trace-event format (the JSON-object
+    /// flavor: `{"traceEvents": [...], "displayTimeUnit": "ms"}`), which
+    /// both `chrome://tracing` and Perfetto load directly. Events are
+    /// sorted by `(tid, ts)` so the file is deterministic given identical
+    /// recorded timings.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut events = self.events.lock().expect("trace buffer poisoned").clone();
+        events.sort_by(|a, b| {
+            a.tid.cmp(&b.tid).then(a.ts_us.partial_cmp(&b.ts_us).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let rows: Vec<Json> = events
+            .iter()
+            .map(|e| {
+                let mut row = Json::obj()
+                    .set("name", e.name)
+                    .set("ph", e.phase.to_string())
+                    .set("ts", e.ts_us)
+                    .set("pid", 1u64)
+                    .set("tid", e.tid);
+                if e.phase == 'X' {
+                    row = row.set("dur", e.dur_us);
+                } else {
+                    // instant events need a scope; "t" = thread
+                    row = row.set("s", "t");
+                }
+                if !e.args.is_empty() {
+                    let mut args = Json::obj();
+                    for (k, v) in &e.args {
+                        args = args.set(k, v.as_str());
+                    }
+                    row = row.set("args", args);
+                }
+                row
+            })
+            .collect();
+        let mut doc = Json::obj().set("traceEvents", Json::Arr(rows)).set("displayTimeUnit", "ms");
+        let dropped = self.dropped();
+        if dropped > 0 {
+            doc = doc.set("droppedEvents", dropped);
+        }
+        doc
+    }
+}
+
+/// RAII span guard. Construct through [`crate::span!`]; the inert (`None`)
+/// form costs one thread-local lookup and nothing else.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    start_us: f64,
+    args: Vec<(&'static str, String)>,
+    ctx: std::sync::Arc<crate::ObsCtx>,
+}
+
+impl Span {
+    /// Opens a span with no arguments (no-op without an installed context).
+    pub fn enter(name: &'static str) -> Span {
+        Span::enter_with(name, Vec::new)
+    }
+
+    /// Opens a span, calling `args` to format arguments only when a context
+    /// is installed — argument construction is free on the no-op path.
+    pub fn enter_with<F>(name: &'static str, args: F) -> Span
+    where
+        F: FnOnce() -> Vec<(&'static str, String)>,
+    {
+        match crate::current_ctx() {
+            None => Span { inner: None },
+            Some(ctx) => {
+                SPAN_STACK.with(|s| s.borrow_mut().push(name));
+                let start_us = ctx.trace.as_ref().map(|t| t.now_us()).unwrap_or(0.0);
+                Span { inner: Some(SpanInner { name, start: Instant::now(), start_us, args: args(), ctx }) }
+            }
+        }
+    }
+
+    /// `true` when this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else { return };
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let elapsed_ms = inner.start.elapsed().as_secs_f64() * 1e3;
+        if let Some(trace) = &inner.ctx.trace {
+            trace.complete(inner.name, inner.start_us, inner.args);
+        }
+        if inner.ctx.metrics_on {
+            inner.ctx.registry.observe(inner.name, &[], elapsed_ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_and_exports_chrome_format() {
+        let sink = TraceSink::new();
+        let t0 = sink.now_us();
+        sink.complete("unit.test.span", t0, vec![("k", "v".to_string())]);
+        sink.instant("unit.test.event", Vec::new());
+        assert_eq!(sink.len(), 2);
+        let doc = sink.to_chrome_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2);
+        let span = events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("X")).unwrap();
+        assert!(span.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(span.get("args").and_then(|a| a.get("k")).and_then(Json::as_str), Some("v"));
+        let inst = events.iter().find(|e| e.get("ph").and_then(Json::as_str) == Some("i")).unwrap();
+        assert_eq!(inst.get("s").and_then(Json::as_str), Some("t"));
+        // the export round-trips through the parser
+        assert!(Json::parse(&doc.compact()).is_ok());
+    }
+
+    #[test]
+    fn cap_counts_dropped_events() {
+        let sink = TraceSink { cap: 2, ..TraceSink::new() };
+        for _ in 0..5 {
+            sink.instant("e", Vec::new());
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.to_chrome_json().get("droppedEvents").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn span_without_context_is_inert() {
+        let span = Span::enter("no.ctx");
+        assert!(!span.is_recording());
+        assert_eq!(current_span_path(), "");
+    }
+}

@@ -1,0 +1,117 @@
+//! Integration tests for the metrics registry's concurrency contract: the
+//! sharded accumulation must merge *exactly* across `std::thread::scope`
+//! workers, and snapshots must be deterministic at any worker count.
+
+use xr_obs::metrics::bucket_bounds;
+use xr_obs::ObsCtx;
+
+fn bounds() -> &'static [f64] {
+    bucket_bounds()
+}
+
+/// Runs `total` counter increments and `total` histogram observations split
+/// across `workers` scoped threads sharing one context, returning the
+/// snapshot.
+fn run_with_workers(workers: usize, total: usize) -> xr_obs::MetricsSnapshot {
+    let ctx = ObsCtx::new(true, false);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let ctx = ctx.clone();
+            scope.spawn(move || {
+                let _guard = ctx.install();
+                let mut i = w;
+                while i < total {
+                    xr_obs::counter_add("merge.calls", &[], 1);
+                    xr_obs::counter_add(
+                        "merge.weighted",
+                        &[("worker_class", if i % 2 == 0 { "even" } else { "odd" })],
+                        i as u64,
+                    );
+                    xr_obs::observe("merge.value", &[], (i % 17) as f64 + 0.5);
+                    i += workers;
+                }
+            });
+        }
+    });
+    ctx.registry.snapshot()
+}
+
+#[test]
+fn counter_merge_across_scope_workers_matches_single_threaded_totals() {
+    let total = 10_000;
+    let single = run_with_workers(1, total);
+    for workers in [2, 3, 4, 8] {
+        let multi = run_with_workers(workers, total);
+        assert_eq!(multi.counter("merge.calls"), Some(total as u64), "{workers} workers");
+        assert_eq!(
+            multi.counter("merge.calls"),
+            single.counter("merge.calls"),
+            "{workers} workers vs single"
+        );
+        assert_eq!(
+            multi.counter("merge.weighted{worker_class=even}"),
+            single.counter("merge.weighted{worker_class=even}")
+        );
+        assert_eq!(
+            multi.counter("merge.weighted{worker_class=odd}"),
+            single.counter("merge.weighted{worker_class=odd}")
+        );
+    }
+}
+
+#[test]
+fn snapshots_are_identical_at_any_worker_count() {
+    // Histogram bucket counts, exact sums, and quantiles are all
+    // order-independent, so the full snapshot must match bit-for-bit.
+    let total = 5_000;
+    let reference = run_with_workers(1, total);
+    for workers in [2, 5, 16] {
+        let snap = run_with_workers(workers, total);
+        assert_eq!(snap, reference, "snapshot diverged at {workers} workers");
+        assert_eq!(snap.to_json().pretty(), reference.to_json().pretty());
+    }
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_log_spaced_and_inclusive() {
+    let b = bounds();
+    assert!(b.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+    // four buckets per decade, 1e-6 through 1e5
+    assert!((b[0] - 1e-6).abs() < 1e-18);
+    assert!((b[b.len() - 1] - 1e5).abs() < 1e-6);
+    let ratio = b[1] / b[0];
+    for w in b.windows(2) {
+        assert!((w[1] / w[0] - ratio).abs() < 1e-9, "log spacing must be uniform");
+    }
+
+    // An observation exactly on a boundary is counted at or below it: the
+    // quantile of a single boundary-valued observation is that boundary.
+    let ctx = ObsCtx::new(true, false);
+    let _g = ctx.install();
+    xr_obs::observe("edge", &[], b[8]);
+    let snap = ctx.registry.snapshot();
+    let h = snap.histogram("edge").unwrap();
+    assert_eq!(h.count, 1);
+    assert!((h.p50 - b[8]).abs() < 1e-15, "p50 {} != bound {}", h.p50, b[8]);
+    assert!((h.p99 - b[8]).abs() < 1e-15);
+}
+
+#[test]
+fn quantiles_track_known_distributions() {
+    let ctx = ObsCtx::new(true, false);
+    let _g = ctx.install();
+    // 100 observations 1..=100: p50 ≈ 50, p95 ≈ 95, p99 ≈ 99, within one
+    // bucket ratio (~1.78×) of the true value
+    for i in 1..=100 {
+        xr_obs::observe("dist", &[], i as f64);
+    }
+    let snap = ctx.registry.snapshot();
+    let h = snap.histogram("dist").unwrap();
+    assert_eq!(h.count, 100);
+    assert_eq!(h.min, 1.0);
+    assert_eq!(h.max, 100.0);
+    assert!((h.mean() - 50.5).abs() < 1e-12, "mean is exact");
+    for (q, truth) in [(h.p50, 50.0), (h.p95, 95.0), (h.p99, 99.0)] {
+        assert!(q >= truth && q <= truth * 1.79, "quantile {q} vs true {truth}");
+    }
+}

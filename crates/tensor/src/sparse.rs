@@ -45,6 +45,7 @@ impl CsrAdj {
     ///
     /// Panics when an index is out of `rows × cols` bounds.
     pub fn from_entries(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Self {
+        let timer = xr_obs::start_timer();
         let mut row_ptr = vec![0usize; rows + 1];
         for &(r, c, _) in entries {
             assert!(r < rows && c < cols, "entry ({r},{c}) out of {rows}x{cols} bounds");
@@ -89,6 +90,7 @@ impl CsrAdj {
             }
             merged.row_ptr[i + 1] = merged.col_idx.len();
         }
+        xr_obs::observe_since("xr_tensor.csr.build.ms", &[], timer);
         merged
     }
 
@@ -180,6 +182,7 @@ impl CsrAdj {
             rhs.rows(),
             rhs.cols()
         );
+        let timer = xr_obs::start_timer();
         let mut out = Matrix::zeros(self.rows, rhs.cols());
         for i in 0..self.rows {
             let orow = out.row_mut(i);
@@ -193,6 +196,7 @@ impl CsrAdj {
                 }
             }
         }
+        xr_obs::observe_since("xr_tensor.csr.spmm.ms", &[], timer);
         out
     }
 
