@@ -1,0 +1,700 @@
+//! Differential oracle runner.
+//!
+//! A [`DiffSubject`] is a pair of supposedly equivalent implementations plus
+//! a proptest-backed scenario generator. [`run_differential`] executes the
+//! pair on seeded generated cases; on the first mismatch it greedily shrinks
+//! the case while the divergence persists, then reports the first diverging
+//! step, the minimized counterexample, and the `xr_obs` span context at the
+//! divergence point — and writes the whole report to
+//! [`crate::artifact_dir`] so CI can upload it.
+//!
+//! Shipped subjects cover the workspace's four equivalence-sensitive kernel
+//! pairs (naive vs. blocked matmul, dense vs. CSR SpMM, brute-force vs.
+//! spatial-grid ORCA neighbors, serial vs. parallel runner) plus one
+//! recommender pair (sparse vs. dense-kernel POSHGNN). Case generation is
+//! deterministic — case `i` always draws from the same seed — so failures
+//! reproduce exactly across runs, machines, and thread counts.
+
+use std::rc::Rc;
+
+use proptest::collection::vec as pvec;
+use proptest::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xr_crowd::{Agent, CrowdSimulator, Room, SimConfig};
+use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
+use xr_graph::geom::Point2;
+use xr_tensor::{CsrAdj, Matrix};
+
+/// Seed stream for case generation: fixed base, decorrelated per index.
+fn case_seed(case_index: usize) -> u64 {
+    0x5EED_D1FF_0000_0000 ^ (case_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The first step at which the two implementations disagree.
+#[derive(Debug, Clone)]
+pub struct StepDivergence {
+    /// Subject-defined step index (time step, element index, cell index…).
+    pub step: usize,
+    /// What disagreed, with both values.
+    pub detail: String,
+}
+
+/// A fully described divergence, as returned by [`run_differential`].
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Which implementation pair diverged.
+    pub pair: String,
+    /// Index of the originally failing generated case.
+    pub case_index: usize,
+    /// RNG seed that regenerates the original case.
+    pub case_seed: u64,
+    /// First diverging step of the **minimized** case.
+    pub step: usize,
+    /// Mismatch detail at that step.
+    pub detail: String,
+    /// Description of the originally generated case.
+    pub original_case: String,
+    /// Description of the greedily minimized case.
+    pub minimized_case: String,
+    /// Number of successful shrink steps applied.
+    pub shrink_steps: usize,
+    /// `xr_obs` span path active at the divergence point.
+    pub span_path: String,
+}
+
+impl Divergence {
+    /// The artifact / panic-message rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "differential divergence: {}\n\
+             case #{} (seed {:#x})\n\
+             first diverging step: {}\n\
+             detail: {}\n\
+             span context: {}\n\
+             original case: {}\n\
+             minimized case ({} shrink steps): {}\n",
+            self.pair,
+            self.case_index,
+            self.case_seed,
+            self.step,
+            self.detail,
+            if self.span_path.is_empty() { "(no active obs context)" } else { &self.span_path },
+            self.original_case,
+            self.shrink_steps,
+            self.minimized_case
+        )
+    }
+}
+
+/// A differential pair: scenario generation, comparison, and shrinking.
+pub trait DiffSubject {
+    /// One generated scenario.
+    type Case;
+
+    /// Name of the implementation pair (used in reports and artifacts).
+    fn pair(&self) -> String;
+
+    /// Draws one case from `rng` (typically via proptest strategies).
+    fn generate(&self, rng: &mut StdRng) -> Self::Case;
+
+    /// Runs both implementations; `Some` describes the first diverging step.
+    fn compare(&self, case: &Self::Case) -> Option<StepDivergence>;
+
+    /// Strictly smaller candidate cases, tried in order during shrinking.
+    fn shrink(&self, _case: &Self::Case) -> Vec<Self::Case> {
+        Vec::new()
+    }
+
+    /// One-line description of a case for the report.
+    fn describe(&self, case: &Self::Case) -> String;
+}
+
+/// Result of a differential run.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The pair that was exercised.
+    pub pair: String,
+    /// Cases executed before stopping (all of them when no divergence).
+    pub cases_run: usize,
+    /// The minimized divergence, if any case disagreed.
+    pub divergence: Option<Divergence>,
+}
+
+/// Runs `subject` on `cases` generated scenarios, stopping at (and
+/// minimizing) the first divergence. Shrinking is greedy: the first shrink
+/// candidate that still diverges becomes the new case, until none does.
+pub fn run_differential<S: DiffSubject>(subject: &S, cases: usize) -> DiffReport {
+    let pair = subject.pair();
+    let _span = xr_obs::span!("xr_check.diff", cases = cases);
+    for case_index in 0..cases {
+        xr_obs::counter_add("xr_check.diff.cases", &[("pair", pair.as_str())], 1);
+        let seed = case_seed(case_index);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let case = subject.generate(&mut rng);
+        let Some(first) = subject.compare(&case) else { continue };
+        // capture the obs span context at the divergence point, before any
+        // shrinking re-runs overwrite it
+        let span_path = xr_obs::current_span_path();
+        let original_desc = subject.describe(&case);
+
+        let mut minimized = case;
+        let mut at = first;
+        let mut shrink_steps = 0usize;
+        'shrinking: loop {
+            for candidate in subject.shrink(&minimized) {
+                if let Some(d) = subject.compare(&candidate) {
+                    minimized = candidate;
+                    at = d;
+                    shrink_steps += 1;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+
+        let divergence = Divergence {
+            pair: pair.clone(),
+            case_index,
+            case_seed: seed,
+            step: at.step,
+            detail: at.detail,
+            original_case: original_desc,
+            minimized_case: subject.describe(&minimized),
+            shrink_steps,
+            span_path,
+        };
+        let file = format!("counterexample-{}.txt", sanitize(&pair));
+        crate::write_artifact(&file, &divergence.render());
+        return DiffReport { pair, cases_run: case_index + 1, divergence: Some(divergence) };
+    }
+    DiffReport { pair, cases_run: cases, divergence: None }
+}
+
+/// [`run_differential`] that panics with the rendered report on divergence —
+/// the assertion form the test suites use.
+pub fn assert_no_divergence<S: DiffSubject>(subject: &S, cases: usize) {
+    let report = run_differential(subject, cases);
+    if let Some(d) = report.divergence {
+        panic!("{}\n(artifact in {})", d.render(), crate::artifact_dir().display());
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '-' }).collect()
+}
+
+/// Bitwise comparison of two matrices; `Some` carries the first differing
+/// element as a linear "step".
+fn first_bit_mismatch(label: &str, a: &Matrix, b: &Matrix) -> Option<StepDivergence> {
+    debug_assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            let (r, c) = (i / a.cols(), i % a.cols());
+            return Some(StepDivergence {
+                step: i,
+                detail: format!("{label}[{r},{c}]: {x:?} ({:#x}) vs {y:?} ({:#x})", x.to_bits(), y.to_bits()),
+            });
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pair 1: naive vs. cache-blocked dense matmul (bit-identical claim).
+// ---------------------------------------------------------------------------
+
+/// `Matrix::matmul_naive` vs. the cache-blocked `Matrix::matmul`. Dimensions
+/// straddle the blocked kernel's `32³` activation threshold so both the
+/// fall-through and the tiled path are exercised.
+pub struct MatmulNaiveVsBlocked;
+
+/// A generated matmul case.
+pub struct MatmulCase {
+    /// Left operand.
+    pub a: Matrix,
+    /// Right operand.
+    pub b: Matrix,
+}
+
+impl DiffSubject for MatmulNaiveVsBlocked {
+    type Case = MatmulCase;
+
+    fn pair(&self) -> String {
+        "matmul: naive vs blocked".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> MatmulCase {
+        let (m, k, n) = (1usize..40, 1usize..40, 1usize..40).generate(rng);
+        let a = pvec(-2.0f64..2.0, m * k).generate(rng);
+        let b = pvec(-2.0f64..2.0, k * n).generate(rng);
+        MatmulCase { a: Matrix::from_vec(m, k, a).unwrap(), b: Matrix::from_vec(k, n, b).unwrap() }
+    }
+
+    fn compare(&self, case: &MatmulCase) -> Option<StepDivergence> {
+        first_bit_mismatch("product", &case.a.matmul_naive(&case.b), &case.a.matmul(&case.b))
+    }
+
+    fn shrink(&self, case: &MatmulCase) -> Vec<MatmulCase> {
+        // halve each dimension in turn (top-left submatrices)
+        let (m, k) = case.a.shape();
+        let n = case.b.cols();
+        let sub = |mat: &Matrix, rows: usize, cols: usize| Matrix::from_fn(rows, cols, |r, c| mat.row(r)[c]);
+        let mut out = Vec::new();
+        if m > 1 {
+            out.push(MatmulCase { a: sub(&case.a, m / 2, k), b: case.b.clone() });
+        }
+        if k > 1 {
+            out.push(MatmulCase { a: sub(&case.a, m, k / 2), b: sub(&case.b, k / 2, n) });
+        }
+        if n > 1 {
+            out.push(MatmulCase { a: case.a.clone(), b: sub(&case.b, k, n / 2) });
+        }
+        out
+    }
+
+    fn describe(&self, case: &MatmulCase) -> String {
+        let (m, k) = case.a.shape();
+        format!("A({m}×{k}) · B({k}×{})", case.b.cols())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pair 2: CSR SpMM vs. dense matmul (tolerance claim: the sparse
+// kernel skips explicit zeros, so accumulation order differs).
+// ---------------------------------------------------------------------------
+
+/// `CsrAdj::matmul_dense` vs. `Matrix::matmul_naive` on the densified
+/// operand, compared within `tol · scale`.
+pub struct SpmmVsDense {
+    /// Elementwise tolerance (scaled by the inner dimension).
+    pub tol: f64,
+}
+
+impl Default for SpmmVsDense {
+    fn default() -> Self {
+        SpmmVsDense { tol: 1e-12 }
+    }
+}
+
+/// A generated SpMM case.
+pub struct SpmmCase {
+    /// Sparse entries `(row, col, value)` of the left operand.
+    pub entries: Vec<(usize, usize, f64)>,
+    /// Left-operand dimension (square, adjacency-like).
+    pub n: usize,
+    /// Dense right operand (`n × f`).
+    pub rhs: Matrix,
+}
+
+impl SpmmCase {
+    fn csr(&self) -> CsrAdj {
+        CsrAdj::from_entries(self.n, self.n, &self.entries)
+    }
+
+    fn dense(&self) -> Matrix {
+        self.csr().to_dense()
+    }
+}
+
+impl DiffSubject for SpmmVsDense {
+    type Case = SpmmCase;
+
+    fn pair(&self) -> String {
+        "spmm: csr vs dense".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> SpmmCase {
+        let (n, f, nnz) = (2usize..24, 1usize..9, 0usize..80).generate(rng);
+        let entries: Vec<(usize, usize, f64)> = pvec((0usize..n, 0usize..n, -2.0f64..2.0), nnz).generate(rng);
+        let rhs = Matrix::from_vec(n, f, pvec(-2.0f64..2.0, n * f).generate(rng)).unwrap();
+        SpmmCase { entries, n, rhs }
+    }
+
+    fn compare(&self, case: &SpmmCase) -> Option<StepDivergence> {
+        let sparse = case.csr().matmul_dense(&case.rhs);
+        let dense = case.dense().matmul_naive(&case.rhs);
+        let scale = case.n as f64;
+        for (i, (s, d)) in sparse.as_slice().iter().zip(dense.as_slice()).enumerate() {
+            if (s - d).abs() > self.tol * scale {
+                let (r, c) = (i / sparse.cols(), i % sparse.cols());
+                return Some(StepDivergence {
+                    step: i,
+                    detail: format!("spmm[{r},{c}]: sparse {s:?} vs dense {d:?}"),
+                });
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &SpmmCase) -> Vec<SpmmCase> {
+        let mut out = Vec::new();
+        if !case.entries.is_empty() {
+            // drop the second half of the nonzeros
+            let half = case.entries.len() / 2;
+            out.push(SpmmCase { entries: case.entries[..half].to_vec(), n: case.n, rhs: case.rhs.clone() });
+        }
+        if case.rhs.cols() > 1 {
+            let f = case.rhs.cols() / 2;
+            out.push(SpmmCase {
+                entries: case.entries.clone(),
+                n: case.n,
+                rhs: Matrix::from_fn(case.n, f, |r, c| case.rhs.row(r)[c]),
+            });
+        }
+        out
+    }
+
+    fn describe(&self, case: &SpmmCase) -> String {
+        format!("A({0}×{0}, {1} raw entries) · B({0}×{2})", case.n, case.entries.len(), case.rhs.cols())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pair 3: brute-force vs. spatial-grid ORCA neighbor search
+// (bit-identical trajectory claim).
+// ---------------------------------------------------------------------------
+
+/// Two [`CrowdSimulator`]s over the same agents — `use_spatial_grid` off vs.
+/// on — stepped in lockstep and compared bitwise each step.
+pub struct OrcaGridVsBrute;
+
+/// A generated crowd case.
+pub struct OrcaCase {
+    /// `(position, goal)` per agent, inside the room.
+    pub agents: Vec<(Point2, Point2)>,
+    /// Square room side length.
+    pub side: f64,
+    /// Steps to simulate.
+    pub steps: usize,
+}
+
+impl DiffSubject for OrcaGridVsBrute {
+    type Case = OrcaCase;
+
+    fn pair(&self) -> String {
+        "orca neighbors: brute vs grid".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> OrcaCase {
+        let (n, steps, side) = (2usize..12, 1usize..7, 4.0f64..10.0).generate(rng);
+        let coord = 0.2f64..(side - 0.2);
+        let agents = pvec((coord.clone(), coord.clone(), coord.clone(), coord), n)
+            .generate(rng)
+            .into_iter()
+            .map(|(px, py, gx, gy)| (Point2::new(px, py), Point2::new(gx, gy)))
+            .collect();
+        OrcaCase { agents, side, steps }
+    }
+
+    fn compare(&self, case: &OrcaCase) -> Option<StepDivergence> {
+        let build = |grid: bool| {
+            let agents = case.agents.iter().map(|&(p, g)| Agent::new(p, g)).collect();
+            let room = Room::new(case.side, case.side);
+            CrowdSimulator::new(agents, room, SimConfig { use_spatial_grid: grid, ..SimConfig::default() })
+        };
+        let mut brute = build(false);
+        let mut grid = build(true);
+        for step in 0..case.steps {
+            brute.step();
+            grid.step();
+            for (i, (a, b)) in brute.positions().iter().zip(grid.positions()).enumerate() {
+                if a.x.to_bits() != b.x.to_bits() || a.y.to_bits() != b.y.to_bits() {
+                    return Some(StepDivergence {
+                        step,
+                        detail: format!(
+                            "agent {i} at step {step}: brute ({:?}, {:?}) vs grid ({:?}, {:?})",
+                            a.x, a.y, b.x, b.y
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &OrcaCase) -> Vec<OrcaCase> {
+        let mut out = Vec::new();
+        if case.agents.len() > 2 {
+            let half = (case.agents.len() / 2).max(2);
+            out.push(OrcaCase { agents: case.agents[..half].to_vec(), side: case.side, steps: case.steps });
+        }
+        if case.steps > 1 {
+            out.push(OrcaCase { agents: case.agents.clone(), side: case.side, steps: case.steps / 2 });
+        }
+        out
+    }
+
+    fn describe(&self, case: &OrcaCase) -> String {
+        format!("{} agents, {} steps, {:.2}m room", case.agents.len(), case.steps, case.side)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel pair 4: serial vs. parallel runner (identical-tables claim).
+// ---------------------------------------------------------------------------
+
+/// `xr_eval::par_map_indexed_with(1, …)` vs. `(workers, …)` over a workload
+/// of independent seeded cells (each cell: a seeded mini matmul reduced to
+/// one f64), compared bitwise per cell — the same per-cell-seed discipline
+/// the comparison tables rely on.
+pub struct SerialVsParallelRunner {
+    /// Worker count for the parallel side.
+    pub workers: usize,
+}
+
+impl Default for SerialVsParallelRunner {
+    fn default() -> Self {
+        SerialVsParallelRunner { workers: 8 }
+    }
+}
+
+/// A generated parallel workload: one seed per independent cell.
+pub struct ParCase {
+    /// Per-cell seeds.
+    pub cell_seeds: Vec<u64>,
+}
+
+/// A deterministic, order-sensitive per-cell computation: seeded matrices,
+/// a product, a reduction.
+fn par_cell(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::from_vec(6, 6, pvec(-1.0f64..1.0, 36).generate(&mut rng)).unwrap();
+    let b = Matrix::from_vec(6, 6, pvec(-1.0f64..1.0, 36).generate(&mut rng)).unwrap();
+    a.matmul(&b).as_slice().iter().enumerate().map(|(i, v)| v * (i as f64 + 0.5)).sum()
+}
+
+impl DiffSubject for SerialVsParallelRunner {
+    type Case = ParCase;
+
+    fn pair(&self) -> String {
+        format!("par runner: 1 vs {} workers", self.workers)
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> ParCase {
+        ParCase { cell_seeds: pvec(0u64..u64::MAX, 1usize..33).generate(rng) }
+    }
+
+    fn compare(&self, case: &ParCase) -> Option<StepDivergence> {
+        let n = case.cell_seeds.len();
+        let serial = xr_eval::par_map_indexed_with(1, n, |i| par_cell(case.cell_seeds[i]));
+        let parallel = xr_eval::par_map_indexed_with(self.workers, n, |i| par_cell(case.cell_seeds[i]));
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            if s.to_bits() != p.to_bits() {
+                return Some(StepDivergence {
+                    step: i,
+                    detail: format!("cell {i}: serial {s:?} vs {} workers {p:?}", self.workers),
+                });
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &ParCase) -> Vec<ParCase> {
+        if case.cell_seeds.len() > 1 {
+            vec![ParCase { cell_seeds: case.cell_seeds[..case.cell_seeds.len() / 2].to_vec() }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn describe(&self, case: &ParCase) -> String {
+        format!("{} cells", case.cell_seeds.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recommender pair: sparse vs. dense-kernel POSHGNN episodes.
+// ---------------------------------------------------------------------------
+
+/// Two identically seeded [`poshgnn::PoshGnn`] models — CSR kernels vs.
+/// `dense_kernels` — run over the same generated episode; soft outputs are
+/// compared within `tol` and thresholded decisions exactly, step by step.
+pub struct SparseVsDensePoshGnn {
+    /// Elementwise tolerance on `r_t` (decisions must match exactly).
+    pub tol: f64,
+}
+
+impl Default for SparseVsDensePoshGnn {
+    fn default() -> Self {
+        SparseVsDensePoshGnn { tol: 1e-9 }
+    }
+}
+
+/// A generated POSHGNN episode scenario.
+pub struct PoshCase {
+    /// Dataset seed.
+    pub dataset_seed: u64,
+    /// Scenario sampling config.
+    pub scenario: ScenarioConfig,
+    /// Target user.
+    pub target: usize,
+}
+
+impl DiffSubject for SparseVsDensePoshGnn {
+    type Case = PoshCase;
+
+    fn pair(&self) -> String {
+        "poshgnn: sparse vs dense kernels".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> PoshCase {
+        let (n, steps, seeds) = (6usize..14, 2usize..6, (0u64..1_000_000, 0u64..1_000_000)).generate(rng);
+        let target = (0usize..n).generate(rng);
+        PoshCase {
+            dataset_seed: seeds.0,
+            scenario: ScenarioConfig {
+                n_participants: n,
+                vr_fraction: 0.5,
+                time_steps: steps,
+                room_side: 6.0,
+                body_radius: 0.2,
+                seed: seeds.1,
+            },
+            target,
+        }
+    }
+
+    fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
+        use poshgnn::recommender::threshold_decision;
+        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig, TargetContext};
+
+        let dataset = Dataset::generate(DatasetKind::Hubs, case.dataset_seed);
+        let scenario = dataset.sample_scenario(&case.scenario);
+        let ctx = TargetContext::new(&scenario, case.target, 0.5);
+        let mut sparse = PoshGnn::new(PoshGnnConfig::default());
+        let mut dense = PoshGnn::new(PoshGnnConfig { dense_kernels: true, ..Default::default() });
+        sparse.begin_episode(&ctx);
+        dense.begin_episode(&ctx);
+        for t in 0..=ctx.t_max() {
+            let rs = sparse.soft_recommend(&ctx, t);
+            let rd = dense.soft_recommend(&ctx, t);
+            for (w, (s, d)) in rs.iter().zip(&rd).enumerate() {
+                if (s - d).abs() > self.tol {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!("r_{t}[{w}]: sparse {s:?} vs dense {d:?}"),
+                    });
+                }
+            }
+            let threshold = sparse.config().threshold;
+            let ds = threshold_decision(&rs, ctx.target, threshold);
+            let dd = threshold_decision(&rd, ctx.target, threshold);
+            if ds != dd {
+                return Some(StepDivergence {
+                    step: t,
+                    detail: format!("decisions at t={t}: sparse {ds:?} vs dense {dd:?}"),
+                });
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &PoshCase) -> Vec<PoshCase> {
+        let mut out = Vec::new();
+        if case.scenario.time_steps > 2 {
+            let mut scenario = case.scenario;
+            scenario.time_steps /= 2;
+            out.push(PoshCase { dataset_seed: case.dataset_seed, scenario, target: case.target });
+        }
+        if case.scenario.n_participants > 6 {
+            let mut scenario = case.scenario;
+            scenario.n_participants = (scenario.n_participants / 2).max(6);
+            out.push(PoshCase {
+                dataset_seed: case.dataset_seed,
+                scenario,
+                target: case.target.min(scenario.n_participants - 1),
+            });
+        }
+        out
+    }
+
+    fn describe(&self, case: &PoshCase) -> String {
+        format!(
+            "Hubs seed {}, N={}, T={}, target {}",
+            case.dataset_seed, case.scenario.n_participants, case.scenario.time_steps, case.target
+        )
+    }
+}
+
+/// Rebuilds a CSR matrix from raw entries — exposed for tests that want to
+/// cross-check a subject's own comparison logic.
+pub fn csr_of(case: &SpmmCase) -> Rc<CsrAdj> {
+    Rc::new(case.csr())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately broken pair: the "optimized" sum drops the last
+    /// element once the input reaches 6 elements. Proves the runner finds,
+    /// reports, and minimizes real divergences.
+    struct BrokenSum;
+
+    impl DiffSubject for BrokenSum {
+        type Case = Vec<f64>;
+
+        fn pair(&self) -> String {
+            "selftest: sum vs broken-sum".to_string()
+        }
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<f64> {
+            pvec(1.0f64..2.0, 1usize..40).generate(rng)
+        }
+
+        fn compare(&self, case: &Vec<f64>) -> Option<StepDivergence> {
+            let reference: f64 = case.iter().sum();
+            let broken: f64 = if case.len() >= 6 { case[..case.len() - 1].iter().sum() } else { reference };
+            (reference.to_bits() != broken.to_bits()).then(|| StepDivergence {
+                step: case.len() - 1,
+                detail: format!("sum: {reference} vs {broken}"),
+            })
+        }
+
+        fn shrink(&self, case: &Vec<f64>) -> Vec<Vec<f64>> {
+            if case.len() > 1 {
+                vec![case[..case.len() / 2].to_vec(), case[..case.len() - 1].to_vec()]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn describe(&self, case: &Vec<f64>) -> String {
+            format!("{} elements", case.len())
+        }
+    }
+
+    #[test]
+    fn oracle_finds_and_minimizes_an_injected_bug() {
+        let report = run_differential(&BrokenSum, 64);
+        let d = report.divergence.expect("the broken kernel must diverge");
+        assert_eq!(d.pair, "selftest: sum vs broken-sum");
+        // greedy halving + drop-one shrinking must reach the 6-element boundary
+        assert_eq!(d.minimized_case, "6 elements", "not fully minimized: {}", d.render());
+        assert!(d.shrink_steps > 0);
+        let artifact = crate::artifact_dir().join("counterexample-selftest--sum-vs-broken-sum.txt");
+        assert!(artifact.exists(), "artifact missing at {}", artifact.display());
+        let text = std::fs::read_to_string(artifact).unwrap();
+        assert!(text.contains("first diverging step"));
+    }
+
+    #[test]
+    fn oracle_captures_span_context_at_divergence() {
+        let ctx = xr_obs::ObsCtx::new(true, false);
+        let _guard = ctx.install();
+        let report = run_differential(&BrokenSum, 64);
+        let d = report.divergence.unwrap();
+        assert!(d.span_path.contains("xr_check.diff"), "span path was {:?}", d.span_path);
+        let snap = ctx.registry.snapshot();
+        let cases = snap.counter("xr_check.diff.cases{pair=selftest: sum vs broken-sum}").unwrap_or(0);
+        assert!(cases >= 1, "per-pair case counter missing: {cases}");
+    }
+
+    #[test]
+    fn clean_pairs_report_no_divergence_and_run_all_cases() {
+        let report = run_differential(&MatmulNaiveVsBlocked, 8);
+        assert!(report.divergence.is_none());
+        assert_eq!(report.cases_run, 8);
+    }
+}

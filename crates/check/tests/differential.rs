@@ -1,0 +1,38 @@
+//! The workspace's equivalence claims, enforced by the differential oracle:
+//! 256 proptest-generated scenarios per kernel pair, plus the sparse/dense
+//! POSHGNN recommender pair on full generated episodes.
+
+use xr_check::diff::{
+    assert_no_divergence, MatmulNaiveVsBlocked, OrcaGridVsBrute, SerialVsParallelRunner,
+    SparseVsDensePoshGnn, SpmmVsDense,
+};
+
+/// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
+const KERNEL_CASES: usize = 256;
+
+#[test]
+fn blocked_matmul_matches_naive_bitwise() {
+    assert_no_divergence(&MatmulNaiveVsBlocked, KERNEL_CASES);
+}
+
+#[test]
+fn csr_spmm_matches_dense_matmul() {
+    assert_no_divergence(&SpmmVsDense::default(), KERNEL_CASES);
+}
+
+#[test]
+fn spatial_grid_orca_matches_brute_force_bitwise() {
+    assert_no_divergence(&OrcaGridVsBrute, KERNEL_CASES);
+}
+
+#[test]
+fn parallel_runner_matches_serial_bitwise() {
+    assert_no_divergence(&SerialVsParallelRunner::default(), KERNEL_CASES);
+}
+
+#[test]
+fn poshgnn_sparse_and_dense_kernels_agree_on_whole_episodes() {
+    // full pipeline per case (dataset → ORCA → MIA → model), so fewer cases
+    // than the raw kernel pairs; still seeded and reproducible
+    assert_no_divergence(&SparseVsDensePoshGnn::default(), 24);
+}

@@ -209,6 +209,48 @@ impl PoshGnn {
         }
     }
 
+    /// Builds the whole-episode Def. 7 loss on `tape`: the mean per-step
+    /// [`poshgnn_loss`], with the recurrent gate linking consecutive steps so
+    /// the social-presence term backpropagates across time. This is exactly
+    /// the objective `train` descends; it is public so verification tooling
+    /// (the `xr_check` finite-difference gradient checker) can differentiate
+    /// the same BPTT graph without duplicating the wiring.
+    pub fn episode_loss<'t>(&self, tape: &'t Tape, ctx: &TargetContext) -> Var<'t> {
+        let n = ctx.n;
+        let mut h_prev = tape.constant(Matrix::zeros(n, self.config.hidden));
+        let mut r_prev = tape.constant(Matrix::zeros(n, 1));
+        let mut total: Option<Var<'_>> = None;
+        for t in 0..=ctx.t_max() {
+            let step_timer = xr_obs::start_timer();
+            let mia_out = self.mia.compute(ctx, t);
+            let (r_t, h_t) = self.step_dispatch(tape, ctx, t, &mia_out, h_prev, r_prev);
+            let l = if self.config.dense_kernels {
+                let penalty = if self.config.symmetric_penalty {
+                    tape.constant(mia_out.adjacency.clone())
+                } else {
+                    tape.constant(mia_out.blocking.clone())
+                };
+                poshgnn_loss(tape, r_t, r_prev, &mia_out.p_hat, &mia_out.s_hat, penalty, self.config.loss)
+            } else {
+                let penalty = if self.config.symmetric_penalty {
+                    tape.sparse(mia_out.adjacency_csr.clone())
+                } else {
+                    tape.sparse(mia_out.blocking_csr.clone())
+                };
+                poshgnn_loss(tape, r_t, r_prev, &mia_out.p_hat, &mia_out.s_hat, penalty, self.config.loss)
+            };
+            total = Some(match total {
+                Some(acc) => acc + l,
+                None => l,
+            });
+            h_prev = h_t;
+            r_prev = r_t;
+            xr_obs::observe_since("poshgnn.train.step.ms", &[], step_timer);
+        }
+        let t_steps = (ctx.t_max() + 1) as f64;
+        total.expect("episode has at least one step").scale(1.0 / t_steps)
+    }
+
     /// Trains on the given target contexts for `epochs` passes, returning
     /// the mean per-step loss after each epoch. One BPTT tape spans each
     /// episode, so gradients flow through the preservation gate across time.
@@ -222,55 +264,7 @@ impl PoshGnn {
             for ctx in contexts {
                 let episode_timer = xr_obs::start_timer();
                 let tape = Tape::new();
-                let n = ctx.n;
-                let mut h_prev = tape.constant(Matrix::zeros(n, self.config.hidden));
-                let mut r_prev = tape.constant(Matrix::zeros(n, 1));
-                let mut total: Option<Var<'_>> = None;
-                for t in 0..=ctx.t_max() {
-                    let step_timer = xr_obs::start_timer();
-                    let mia_out = self.mia.compute(ctx, t);
-                    let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
-                    let l = if self.config.dense_kernels {
-                        let penalty = if self.config.symmetric_penalty {
-                            tape.constant(mia_out.adjacency.clone())
-                        } else {
-                            tape.constant(mia_out.blocking.clone())
-                        };
-                        poshgnn_loss(
-                            &tape,
-                            r_t,
-                            r_prev,
-                            &mia_out.p_hat,
-                            &mia_out.s_hat,
-                            penalty,
-                            self.config.loss,
-                        )
-                    } else {
-                        let penalty = if self.config.symmetric_penalty {
-                            tape.sparse(mia_out.adjacency_csr.clone())
-                        } else {
-                            tape.sparse(mia_out.blocking_csr.clone())
-                        };
-                        poshgnn_loss(
-                            &tape,
-                            r_t,
-                            r_prev,
-                            &mia_out.p_hat,
-                            &mia_out.s_hat,
-                            penalty,
-                            self.config.loss,
-                        )
-                    };
-                    total = Some(match total {
-                        Some(acc) => acc + l,
-                        None => l,
-                    });
-                    h_prev = h_t;
-                    r_prev = r_t;
-                    xr_obs::observe_since("poshgnn.train.step.ms", &[], step_timer);
-                }
-                let t_steps = (ctx.t_max() + 1) as f64;
-                let loss = total.expect("episode has at least one step").scale(1.0 / t_steps);
+                let loss = self.episode_loss(&tape, ctx);
                 epoch_loss += loss.scalar();
                 steps += 1;
                 loss.backward(&mut self.store);
@@ -302,6 +296,19 @@ impl PoshGnn {
         let r = r_t.value();
         self.episode_state = Some((h_t.value(), r.clone()));
         r.into_vec()
+    }
+
+    /// Read-only view of the parameter store: block names, values, and the
+    /// gradients of the most recent backward pass.
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store. Intended for verification
+    /// tooling (finite-difference perturbation in `xr_check`); training code
+    /// should go through [`PoshGnn::train`].
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
     }
 
     /// Parameter snapshot for checkpointing.

@@ -5,13 +5,15 @@
 //! guard that keeps `AFTER_METRICS` / `AFTER_TRACE` output loadable.
 //!
 //! Usage: `cargo run --release -p xr-eval --bin obs_smoke [outdir]`
-//! (default outdir: the target directory's parent-relative `results/`).
+//! With no explicit outdir (and no `AFTER_METRICS`/`AFTER_TRACE` override)
+//! the files go to a process-unique temp directory and are removed after
+//! validation — a smoke run leaves nothing behind. An explicit outdir or
+//! env override keeps its files.
 
 use std::path::PathBuf;
 use std::process::exit;
 
 use xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
-use xr_eval::report::results_dir;
 use xr_eval::runner::{run_comparison, ComparisonConfig};
 use xr_obs::{Json, ObsOptions, ObsSession};
 
@@ -86,7 +88,11 @@ fn check_trace(path: &PathBuf) {
 }
 
 fn main() {
-    let outdir = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(results_dir);
+    let explicit_outdir = std::env::args().nth(1).map(PathBuf::from);
+    // no explicit outdir → a process-unique tempdir, removed after validation
+    let scratch = explicit_outdir.is_none();
+    let outdir = explicit_outdir
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("obs_smoke-{}", std::process::id())));
     std::fs::create_dir_all(&outdir)
         .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", outdir.display())));
     // honor AFTER_METRICS / AFTER_TRACE when set (as CI does); otherwise
@@ -116,5 +122,12 @@ fn main() {
 
     check_metrics(&metrics_path);
     check_trace(&trace_path);
+    if scratch {
+        // only the tempdir this run created; env-overridden paths outside it
+        // survive (they were asked for explicitly)
+        if let Err(e) = std::fs::remove_dir_all(&outdir) {
+            eprintln!("obs_smoke: warning: could not clean up {}: {e}", outdir.display());
+        }
+    }
     println!("obs_smoke PASS");
 }

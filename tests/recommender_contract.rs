@@ -5,7 +5,7 @@
 use after_xr::poshgnn::recommender::AfterRecommender;
 use after_xr::poshgnn::{PoshGnn, PoshGnnConfig, PoshVariant, TargetContext};
 use after_xr::xr_baselines::{
-    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
+    ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender, MwisOracle,
     NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
 };
 use after_xr::xr_datasets::{Dataset, DatasetKind, Scenario, ScenarioConfig};
@@ -42,7 +42,21 @@ fn all_recommenders(scenario: &Scenario) -> Vec<Box<dyn AfterRecommender>> {
             max_actions: 4,
             ..Default::default()
         })),
+        Box::new(MwisOracle::new()),
         Box::new(RenderAllRecommender),
+    ]
+}
+
+/// Methods that consult the hybrid-participation mask `m_t`. `PdrOnly` and
+/// `ComurNet` ignore it *by design* (the former is the raw-features ablation,
+/// the latter replicates the original ComurNet action space), and the
+/// remaining baselines score on social/spatial signals alone — so the hard
+/// mask guarantee is only claimed for these.
+fn mask_aware_recommenders() -> Vec<Box<dyn AfterRecommender>> {
+    vec![
+        Box::new(PoshGnn::new(PoshGnnConfig::default())),
+        Box::new(PoshGnn::new(PoshGnnConfig { variant: PoshVariant::PdrWithMia, ..Default::default() })),
+        Box::new(MwisOracle::new()),
     ]
 }
 
@@ -71,6 +85,86 @@ fn method_names_are_unique() {
     sorted.sort();
     sorted.dedup();
     assert_eq!(sorted.len(), names.len(), "duplicate method names: {names:?}");
+}
+
+#[test]
+fn every_method_is_deterministic_under_a_fixed_seed() {
+    let scenario = scenario();
+    let ctx = TargetContext::new(&scenario, 0, 0.5);
+    // two identically constructed instances must produce identical episodes
+    let twins = all_recommenders(&scenario).into_iter().zip(all_recommenders(&scenario));
+    for (mut a, mut b) in twins {
+        let name = a.name();
+        assert_eq!(a.run_episode(&ctx), b.run_episode(&ctx), "{name}: nondeterministic under fixed seed");
+    }
+}
+
+#[test]
+fn decisions_stay_inside_the_unit_hypercube() {
+    // Boolean decisions embed as {0,1}^|V| ⊂ [0,1]^|V|; the learned model's
+    // underlying soft scores must land in the open hypercube too.
+    let scenario = scenario();
+    let ctx = TargetContext::new(&scenario, 0, 0.5);
+    for variant in [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly] {
+        let mut model = PoshGnn::new(PoshGnnConfig { variant, ..Default::default() });
+        model.begin_episode(&ctx);
+        for t in 0..=ctx.t_max() {
+            let soft = model.soft_recommend(&ctx, t);
+            assert_eq!(soft.len(), ctx.n, "{variant:?}: wrong score width at t={t}");
+            for (w, &s) in soft.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&s), "{variant:?}: score {s} for user {w} at t={t}");
+            }
+        }
+    }
+    for mut rec in all_recommenders(&scenario) {
+        let name = rec.name();
+        for (t, decision) in rec.run_episode(&ctx).iter().enumerate() {
+            assert_eq!(decision.len(), ctx.n, "{name}: wrong decision width at t={t}");
+        }
+    }
+}
+
+#[test]
+fn mask_aware_methods_never_recommend_masked_candidates() {
+    let scenario = scenario();
+    // An MR target is where the mask binds: physically co-present bodies can
+    // occlude candidates out of m_t. Pick one and confirm the mask actually
+    // excludes someone, so this test cannot pass vacuously.
+    let mr = scenario.interfaces.iter().position(|&i| i == after_xr::xr_datasets::Interface::Mr).unwrap();
+    let ctx = TargetContext::new(&scenario, mr, 0.5);
+    let masked_out: usize =
+        ctx.candidate_mask.iter().map(|m| m.iter().filter(|&&b| !b).count()).sum::<usize>();
+    assert!(masked_out > ctx.candidate_mask.len(), "mask never binds; pick a different seed");
+
+    for mut rec in mask_aware_recommenders() {
+        let name = rec.name();
+        for (t, decision) in rec.run_episode(&ctx).iter().enumerate() {
+            for (w, &shown) in decision.iter().enumerate() {
+                assert!(
+                    !shown || ctx.candidate_mask[t][w],
+                    "{name}: recommended masked-out user {w} at t={t}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vr_targets_see_everyone_and_still_never_themselves() {
+    let scenario = scenario();
+    // A VR target's mask is everyone-but-target; the only exclusion any
+    // method must enforce there is the target herself.
+    let vr = scenario.interfaces.iter().position(|&i| i == after_xr::xr_datasets::Interface::Vr).unwrap();
+    let ctx = TargetContext::new(&scenario, vr, 0.5);
+    for mask in &ctx.candidate_mask {
+        assert_eq!(mask.iter().filter(|&&b| b).count(), ctx.n - 1);
+    }
+    for mut rec in all_recommenders(&scenario) {
+        let name = rec.name();
+        for (t, decision) in rec.run_episode(&ctx).iter().enumerate() {
+            assert!(!decision[vr], "{name}: recommended the VR target to herself at t={t}");
+        }
+    }
 }
 
 #[test]
