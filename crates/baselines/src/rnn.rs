@@ -134,7 +134,7 @@ impl RnnRecommender {
                         self.graph_operator(&mia_out.adjacency),
                         h_prev,
                     );
-                    let blocking = tape.constant(mia_out.blocking.clone());
+                    let blocking = tape.constant_rc(mia_out.blocking.clone());
                     let l = poshgnn_loss(
                         &tape,
                         r,

@@ -201,12 +201,12 @@ fn first_bit_mismatch(label: &str, a: &Matrix, b: &Matrix) -> Option<StepDiverge
 }
 
 // ---------------------------------------------------------------------------
-// Kernel pair 1: naive vs. cache-blocked dense matmul (bit-identical claim).
+// Kernel pair 1: naive vs. dispatched dense matmul (bit-identical claim).
 // ---------------------------------------------------------------------------
 
-/// `Matrix::matmul_naive` vs. the cache-blocked `Matrix::matmul`. Dimensions
-/// straddle the blocked kernel's `32³` activation threshold so both the
-/// fall-through and the tiled path are exercised.
+/// `Matrix::matmul_naive` vs. the size-dispatched `Matrix::matmul`.
+/// Dimensions straddle `MATMUL_DISPATCH_THRESHOLD` (64³ flops) so both the
+/// naive fall-through and the packed-B register-tiled kernel are exercised.
 pub struct MatmulNaiveVsBlocked;
 
 /// A generated matmul case.
@@ -225,7 +225,7 @@ impl DiffSubject for MatmulNaiveVsBlocked {
     }
 
     fn generate(&self, rng: &mut StdRng) -> MatmulCase {
-        let (m, k, n) = (1usize..40, 1usize..40, 1usize..40).generate(rng);
+        let (m, k, n) = (1usize..80, 1usize..80, 1usize..80).generate(rng);
         let a = pvec(-2.0f64..2.0, m * k).generate(rng);
         let b = pvec(-2.0f64..2.0, k * n).generate(rng);
         MatmulCase { a: Matrix::from_vec(m, k, a).unwrap(), b: Matrix::from_vec(k, n, b).unwrap() }
@@ -531,6 +531,58 @@ pub struct PoshCase {
     pub target: usize,
 }
 
+/// Draws one POSHGNN episode case (shared by every POSHGNN-level subject).
+fn generate_posh_case(rng: &mut StdRng) -> PoshCase {
+    let (n, steps, seeds) = (6usize..14, 2usize..6, (0u64..1_000_000, 0u64..1_000_000)).generate(rng);
+    let target = (0usize..n).generate(rng);
+    PoshCase {
+        dataset_seed: seeds.0,
+        scenario: ScenarioConfig {
+            n_participants: n,
+            vr_fraction: 0.5,
+            time_steps: steps,
+            room_side: 6.0,
+            body_radius: 0.2,
+            seed: seeds.1,
+        },
+        target,
+    }
+}
+
+/// Shrinks a POSHGNN episode case (halve steps, then halve participants).
+fn shrink_posh_case(case: &PoshCase) -> Vec<PoshCase> {
+    let mut out = Vec::new();
+    if case.scenario.time_steps > 2 {
+        let mut scenario = case.scenario;
+        scenario.time_steps /= 2;
+        out.push(PoshCase { dataset_seed: case.dataset_seed, scenario, target: case.target });
+    }
+    if case.scenario.n_participants > 6 {
+        let mut scenario = case.scenario;
+        scenario.n_participants = (scenario.n_participants / 2).max(6);
+        out.push(PoshCase {
+            dataset_seed: case.dataset_seed,
+            scenario,
+            target: case.target.min(scenario.n_participants - 1),
+        });
+    }
+    out
+}
+
+fn describe_posh_case(case: &PoshCase) -> String {
+    format!(
+        "Hubs seed {}, N={}, T={}, target {}",
+        case.dataset_seed, case.scenario.n_participants, case.scenario.time_steps, case.target
+    )
+}
+
+/// Materializes the episode context of a [`PoshCase`].
+fn posh_context(case: &PoshCase) -> poshgnn::TargetContext {
+    let dataset = Dataset::generate(DatasetKind::Hubs, case.dataset_seed);
+    let scenario = dataset.sample_scenario(&case.scenario);
+    poshgnn::TargetContext::new(&scenario, case.target, 0.5)
+}
+
 impl DiffSubject for SparseVsDensePoshGnn {
     type Case = PoshCase;
 
@@ -539,29 +591,14 @@ impl DiffSubject for SparseVsDensePoshGnn {
     }
 
     fn generate(&self, rng: &mut StdRng) -> PoshCase {
-        let (n, steps, seeds) = (6usize..14, 2usize..6, (0u64..1_000_000, 0u64..1_000_000)).generate(rng);
-        let target = (0usize..n).generate(rng);
-        PoshCase {
-            dataset_seed: seeds.0,
-            scenario: ScenarioConfig {
-                n_participants: n,
-                vr_fraction: 0.5,
-                time_steps: steps,
-                room_side: 6.0,
-                body_radius: 0.2,
-                seed: seeds.1,
-            },
-            target,
-        }
+        generate_posh_case(rng)
     }
 
     fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
         use poshgnn::recommender::threshold_decision;
-        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig, TargetContext};
+        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig};
 
-        let dataset = Dataset::generate(DatasetKind::Hubs, case.dataset_seed);
-        let scenario = dataset.sample_scenario(&case.scenario);
-        let ctx = TargetContext::new(&scenario, case.target, 0.5);
+        let ctx = posh_context(case);
         let mut sparse = PoshGnn::new(PoshGnnConfig::default());
         let mut dense = PoshGnn::new(PoshGnnConfig { dense_kernels: true, ..Default::default() });
         sparse.begin_episode(&ctx);
@@ -591,29 +628,164 @@ impl DiffSubject for SparseVsDensePoshGnn {
     }
 
     fn shrink(&self, case: &PoshCase) -> Vec<PoshCase> {
-        let mut out = Vec::new();
-        if case.scenario.time_steps > 2 {
-            let mut scenario = case.scenario;
-            scenario.time_steps /= 2;
-            out.push(PoshCase { dataset_seed: case.dataset_seed, scenario, target: case.target });
-        }
-        if case.scenario.n_participants > 6 {
-            let mut scenario = case.scenario;
-            scenario.n_participants = (scenario.n_participants / 2).max(6);
-            out.push(PoshCase {
-                dataset_seed: case.dataset_seed,
-                scenario,
-                target: case.target.min(scenario.n_participants - 1),
-            });
-        }
-        out
+        shrink_posh_case(case)
     }
 
     fn describe(&self, case: &PoshCase) -> String {
-        format!(
-            "Hubs seed {}, N={}, T={}, target {}",
-            case.dataset_seed, case.scenario.n_participants, case.scenario.time_steps, case.target
-        )
+        describe_posh_case(case)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path pair 1: cached-MIA vs. fresh-MIA episode loss (bit-identical).
+// ---------------------------------------------------------------------------
+
+/// The same identically seeded POSHGNN differentiated through
+/// [`poshgnn::PoshGnn::episode_loss_cached`] (one precomputed
+/// `Mia::compute_episode` slab) vs. [`poshgnn::PoshGnn::episode_loss`]
+/// (MIA recomputed at every step). MIA is parameter-free, so the loss scalar
+/// and every parameter gradient must match bit for bit.
+pub struct CachedVsFreshMia;
+
+impl DiffSubject for CachedVsFreshMia {
+    type Case = PoshCase;
+
+    fn pair(&self) -> String {
+        "poshgnn: cached vs fresh MIA".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> PoshCase {
+        generate_posh_case(rng)
+    }
+
+    fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
+        use poshgnn::{Mia, PoshGnn, PoshGnnConfig};
+        use xr_tensor::Tape;
+
+        let ctx = posh_context(case);
+        let cfg = PoshGnnConfig { fresh_mia: false, fresh_tape: false, ..Default::default() };
+
+        let mut fresh = PoshGnn::new(cfg);
+        let tape_f = Tape::new();
+        let loss_f = fresh.episode_loss(&tape_f, &ctx);
+        let lf = loss_f.scalar();
+        loss_f.backward(fresh.params_mut());
+
+        let mut cached = PoshGnn::new(cfg);
+        let slab = Mia.compute_episode(&ctx);
+        let tape_c = Tape::new();
+        let loss_c = cached.episode_loss_cached(&tape_c, &ctx, &slab);
+        let lc = loss_c.scalar();
+        loss_c.backward(cached.params_mut());
+
+        if lf.to_bits() != lc.to_bits() {
+            return Some(StepDivergence {
+                step: 0,
+                detail: format!("episode loss: fresh {lf:?} vs cached {lc:?}"),
+            });
+        }
+        for id in fresh.params().ids() {
+            let name = fresh.params().name(id).to_string();
+            if let Some(d) = first_bit_mismatch(
+                &format!("grad[{name}]"),
+                fresh.params().grad(id),
+                cached.params().grad(id),
+            ) {
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &PoshCase) -> Vec<PoshCase> {
+        shrink_posh_case(case)
+    }
+
+    fn describe(&self, case: &PoshCase) -> String {
+        describe_posh_case(case)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path pair 2: pooled-tape vs. fresh-tape gradients (bit-identical).
+// ---------------------------------------------------------------------------
+
+/// Two identically seeded POSHGNNs differentiated over the same episode
+/// twice: one builds a fresh `Tape` per pass, the other resets a single
+/// arena tape so the second pass runs entirely on recycled pooled buffers.
+/// Losses and parameter gradients of both passes must match bit for bit —
+/// the full-overwrite contract on pooled buffers makes recycling invisible.
+pub struct PooledVsFreshTape;
+
+impl DiffSubject for PooledVsFreshTape {
+    type Case = PoshCase;
+
+    fn pair(&self) -> String {
+        "tape: pooled arena vs fresh".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> PoshCase {
+        generate_posh_case(rng)
+    }
+
+    fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
+        use poshgnn::{PoshGnn, PoshGnnConfig};
+        use xr_tensor::{Matrix, Tape};
+
+        let ctx = posh_context(case);
+        let cfg = PoshGnnConfig { fresh_mia: false, fresh_tape: false, ..Default::default() };
+        let passes = 2;
+
+        // (loss, gradients) per pass; `pooled` reuses one reset arena tape.
+        let run = |pooled: bool| -> Vec<(f64, Vec<Matrix>)> {
+            let mut model = PoshGnn::new(cfg);
+            let arena = Tape::new();
+            (0..passes)
+                .map(|_| {
+                    let fresh_tape;
+                    let tape = if pooled {
+                        arena.reset();
+                        &arena
+                    } else {
+                        fresh_tape = Tape::new();
+                        &fresh_tape
+                    };
+                    let loss = model.episode_loss(tape, &ctx);
+                    let l = loss.scalar();
+                    loss.backward(model.params_mut());
+                    let grads: Vec<Matrix> =
+                        model.params().ids().map(|id| model.params().grad(id).clone()).collect();
+                    model.params_mut().zero_grads();
+                    (l, grads)
+                })
+                .collect()
+        };
+
+        let fresh = run(false);
+        let pooled = run(true);
+        for (pass, ((lf, gf), (lp, gp))) in fresh.iter().zip(&pooled).enumerate() {
+            if lf.to_bits() != lp.to_bits() {
+                return Some(StepDivergence {
+                    step: pass,
+                    detail: format!("pass {pass} loss: fresh {lf:?} vs pooled {lp:?}"),
+                });
+            }
+            for (i, (a, b)) in gf.iter().zip(gp).enumerate() {
+                if let Some(mut d) = first_bit_mismatch(&format!("pass {pass} grad #{i}"), a, b) {
+                    d.step = pass;
+                    return Some(d);
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &PoshCase) -> Vec<PoshCase> {
+        shrink_posh_case(case)
+    }
+
+    fn describe(&self, case: &PoshCase) -> String {
+        describe_posh_case(case)
     }
 }
 

@@ -3,8 +3,8 @@
 //! POSHGNN recommender pair on full generated episodes.
 
 use xr_check::diff::{
-    assert_no_divergence, MatmulNaiveVsBlocked, OrcaGridVsBrute, SerialVsParallelRunner,
-    SparseVsDensePoshGnn, SpmmVsDense,
+    assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, OrcaGridVsBrute, PooledVsFreshTape,
+    SerialVsParallelRunner, SparseVsDensePoshGnn, SpmmVsDense,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -28,6 +28,16 @@ fn spatial_grid_orca_matches_brute_force_bitwise() {
 #[test]
 fn parallel_runner_matches_serial_bitwise() {
     assert_no_divergence(&SerialVsParallelRunner::default(), KERNEL_CASES);
+}
+
+#[test]
+fn cached_mia_episode_loss_matches_fresh_bitwise() {
+    assert_no_divergence(&CachedVsFreshMia, KERNEL_CASES);
+}
+
+#[test]
+fn pooled_tape_gradients_match_fresh_bitwise() {
+    assert_no_divergence(&PooledVsFreshTape, KERNEL_CASES);
 }
 
 #[test]

@@ -106,6 +106,49 @@ proptest! {
     }
 
     #[test]
+    fn grad_of_fused_gate_blend(vals in proptest::collection::vec(-2.0_f64..2.0, 4)) {
+        // The single-node preservation gate m⊙((1−σ)⊙r̃ + σ⊙r_prev), with the
+        // checked variable feeding all three differentiable inputs at once so
+        // every backward arm (σ, a, b) and the in-slot accumulation are hit.
+        check_single(&vals, 4, 1, &cfg(), |tape, w| {
+            let mask = tape.constant(Matrix::from_fn(4, 1, |r, _| if r == 2 { 0.0 } else { 1.0 }));
+            let gated = mask.gate_blend(w.sigmoid(), w.tanh(), w);
+            let weight = tape.constant(Matrix::from_fn(4, 1, |r, _| 1.0 + r as f64));
+            (gated * weight).sum()
+        })
+        .assert_within(1e-5);
+    }
+
+    #[test]
+    fn grad_of_fused_dot_scale(vals in proptest::collection::vec(-1.5_f64..1.5, 5)) {
+        // (a ⊙ b)·k as one DotScale node, both operands live.
+        check_single(&vals, 5, 1, &cfg(), |_tape, r| r.dot_scale(r.sigmoid(), -0.5)).assert_within(1e-5);
+    }
+
+    #[test]
+    fn grad_of_fused_dot3_scale(vals in proptest::collection::vec(-1.5_f64..1.5, 4)) {
+        // (a ⊙ b ⊙ c)·k as one Dot3Scale node, all three operands live.
+        check_single(&vals, 4, 1, &cfg(), |_tape, r| r.dot3_scale(r.sigmoid(), r.tanh(), -0.7))
+            .assert_within(1e-5);
+    }
+
+    #[test]
+    fn grad_of_fused_quadratic_penalty(vals in proptest::collection::vec(-1.0_f64..1.0, 4)) {
+        // α·rᵀ(A·r) collapsed into a single MatDotScale node over the
+        // transpose and SpMM — the fused form of the Def. 7 occlusion term.
+        let adj = Rc::new(CsrAdj::from_entries(
+            4,
+            4,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 0, 0.5), (0, 3, 0.5)],
+        ));
+        check_single(&vals, 4, 1, &cfg(), move |tape, r| {
+            let a = tape.sparse(adj.clone());
+            r.t().mat_dot_scale(a.matmul(r), 0.4)
+        })
+        .assert_within(1e-5);
+    }
+
+    #[test]
     fn grad_through_sparse_quadratic_penalty(vals in proptest::collection::vec(-1.0_f64..1.0, 4)) {
         // rᵀ·(A·r): the sparse occlusion-penalty path of the Def. 7 loss.
         let adj = Rc::new(CsrAdj::from_entries(
@@ -122,16 +165,22 @@ proptest! {
 }
 
 #[test]
-fn grad_through_the_blocked_matmul_backward() {
-    // 34×34 operands put forward AND backward products past the 32³
-    // activation threshold, so the cache-blocked kernel (not the naive
-    // fall-through) is what finite differences validate here.
-    let dim = 34;
-    assert!(dim * dim * dim >= 32 * 32 * 32, "operands must engage the blocked kernel");
-    let vals: Vec<f64> = (0..dim * dim).map(|i| ((i * 2654435761 % 1000) as f64 / 500.0) - 1.0).collect();
-    check_single(&vals, dim, dim, &cfg(), |tape, w| {
-        let x = tape.constant(Matrix::from_fn(dim, dim, |r, c| 0.05 * ((r * 7 + c * 3) % 11) as f64 - 0.2));
-        let weight = tape.constant(Matrix::from_fn(dim, dim, |r, c| 0.01 * ((r + 2 * c) % 5) as f64 + 0.02));
+fn grad_through_the_packed_matmul_backward() {
+    // A 4096×128 · 128×1 product sits at the flop dispatch threshold with
+    // k ≥ MATMUL_PACK_MIN_K, so the packed kernel (not the chunked
+    // fall-through) is what finite differences validate here — for the
+    // backward too, whose AᵀB product is 128×4096 · 4096×1.
+    let (m, k) = (4096_usize, 128_usize);
+    assert!(
+        m * k >= Matrix::MATMUL_DISPATCH_THRESHOLD && k >= Matrix::MATMUL_PACK_MIN_K,
+        "operands must engage the packed kernel"
+    );
+    let x_m = Matrix::from_fn(m, k, |r, c| 0.05 * ((r * 7 + c * 3) % 11) as f64 - 0.2);
+    let w_v = Matrix::from_fn(m, 1, |r, _| 0.01 * (r % 5) as f64 + 0.02);
+    let vals: Vec<f64> = (0..k).map(|i| ((i * 2654435761 % 1000) as f64 / 500.0) - 1.0).collect();
+    check_single(&vals, k, 1, &cfg(), move |tape, w| {
+        let x = tape.constant(x_m.clone());
+        let weight = tape.constant(w_v.clone());
         (x.matmul(w) * weight).sum()
     })
     .assert_within(1e-5);

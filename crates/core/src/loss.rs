@@ -13,6 +13,8 @@
 //! not affect gradients. The same loss trains the DCRNN and TGCN baselines
 //! (§V-A.2, "for a fair comparison").
 
+use std::rc::Rc;
+
 use xr_tensor::{Matrix, Tape, TapeLinOp, Var};
 
 /// Hyperparameters of the POSHGNN loss.
@@ -40,26 +42,32 @@ impl Default for LossParams {
 ///
 /// * `r_t`, `r_prev` — `N × 1` recommendation columns (tape nodes, so the
 ///   social-presence term backpropagates through *both* time steps).
-/// * `p_hat`, `s_hat` — the MIA-normalized utility columns (constants).
+/// * `p_hat`, `s_hat` — the MIA-normalized utility columns, shared onto the
+///   tape as zero-copy `Rc` constants (MIA caches them per episode).
 /// * `adj` — the `N × N` occlusion penalty operator at `t`: either a dense
 ///   constant [`Var`] or a sparse [`xr_tensor::SparseVar`] (both implement
 ///   [`TapeLinOp`]). The quadratic form is evaluated as `r_tᵀ·(A·r_t)`, so
 ///   the sparse path costs O(nnz) instead of O(N²).
+///
+/// The three reductions are recorded as fused single nodes
+/// ([`Var::dot_scale`], [`Var::dot3_scale`], [`Var::mat_dot_scale`]) whose
+/// arithmetic is bit-identical to the unfused `Hadamard`/`Sum`/`Scale`
+/// chains they replace — the `xr_check` golden replay pins this.
 pub fn poshgnn_loss<'t>(
     tape: &'t Tape,
     r_t: Var<'t>,
     r_prev: Var<'t>,
-    p_hat: &Matrix,
-    s_hat: &Matrix,
+    p_hat: &Rc<Matrix>,
+    s_hat: &Rc<Matrix>,
     adj: impl TapeLinOp<'t>,
     params: LossParams,
 ) -> Var<'t> {
     let LossParams { alpha, beta } = params;
-    let p = tape.constant(p_hat.clone());
-    let s = tape.constant(s_hat.clone());
-    let gain_p = (r_t * p).sum().scale(-(1.0 - beta));
-    let gain_s = (r_t * r_prev * s).sum().scale(-beta);
-    let occlusion = r_t.t().matmul(adj.left_matmul(r_t)).sum().scale(alpha);
+    let p = tape.constant_rc(p_hat.clone());
+    let s = tape.constant_rc(s_hat.clone());
+    let gain_p = r_t.dot_scale(p, -(1.0 - beta));
+    let gain_s = r_t.dot3_scale(r_prev, s, -beta);
+    let occlusion = r_t.t().mat_dot_scale(adj.left_matmul(r_t), alpha);
     let gamma = (1.0 - beta) * p_hat.sum() + beta * s_hat.sum();
     (gain_p + gain_s + occlusion).add_scalar(gamma)
 }
@@ -78,8 +86,8 @@ mod tests {
         // consecutive steps should give loss exactly γ − gains = 0.
         let tape = Tape::new();
         let r = tape.constant(col(&[1.0, 1.0]));
-        let p = col(&[1.0, 1.0]);
-        let s = col(&[1.0, 1.0]);
+        let p = Rc::new(col(&[1.0, 1.0]));
+        let s = Rc::new(col(&[1.0, 1.0]));
         let adj = tape.constant(Matrix::zeros(2, 2));
         let loss = poshgnn_loss(&tape, r, r, &p, &s, adj, LossParams { alpha: 0.01, beta: 0.5 });
         assert!(loss.scalar().abs() < 1e-12);
@@ -89,8 +97,8 @@ mod tests {
     fn empty_recommendation_pays_full_gamma() {
         let tape = Tape::new();
         let r = tape.constant(col(&[0.0, 0.0]));
-        let p = col(&[0.6, 0.4]);
-        let s = col(&[0.2, 0.0]);
+        let p = Rc::new(col(&[0.6, 0.4]));
+        let s = Rc::new(col(&[0.2, 0.0]));
         let adj = tape.constant(Matrix::zeros(2, 2));
         let params = LossParams { alpha: 0.01, beta: 0.5 };
         let loss = poshgnn_loss(&tape, r, r, &p, &s, adj, params);
@@ -100,8 +108,8 @@ mod tests {
 
     #[test]
     fn occlusion_edge_increases_loss() {
-        let p = col(&[0.5, 0.5]);
-        let s = col(&[0.0, 0.0]);
+        let p = Rc::new(col(&[0.5, 0.5]));
+        let s = Rc::new(col(&[0.0, 0.0]));
         let params = LossParams { alpha: 0.1, beta: 0.5 };
 
         let run = |edge: bool| {
@@ -123,8 +131,8 @@ mod tests {
 
     #[test]
     fn social_gain_requires_previous_recommendation() {
-        let p = col(&[0.0]);
-        let s = col(&[1.0]);
+        let p = Rc::new(col(&[0.0]));
+        let s = Rc::new(col(&[1.0]));
         let params = LossParams { alpha: 0.0, beta: 1.0 };
         let run = |prev: f64| {
             let tape = Tape::new();
@@ -139,11 +147,10 @@ mod tests {
 
     #[test]
     fn sparse_and_dense_penalty_operators_agree() {
-        use std::rc::Rc;
         use xr_tensor::CsrAdj;
 
-        let p = col(&[0.3, 0.7, 0.1]);
-        let s = col(&[0.2, 0.4, 0.9]);
+        let p = Rc::new(col(&[0.3, 0.7, 0.1]));
+        let s = Rc::new(col(&[0.2, 0.4, 0.9]));
         let adj_m = Matrix::from_vec(3, 3, vec![0.0, 0.5, 0.0, 0.0, 0.0, 0.9, 0.0, 0.0, 0.0]).unwrap();
         let params = LossParams { alpha: 0.4, beta: 0.5 };
         let rv = col(&[0.9, 0.8, 0.2]);
@@ -175,7 +182,15 @@ mod tests {
             let r = tape.constant(col(&rv));
             let rp = tape.constant(col(&rv));
             let adj = tape.constant(Matrix::zeros(n, n));
-            let loss = poshgnn_loss(&tape, r, rp, &col(&pv), &col(&sv), adj, LossParams::default());
+            let loss = poshgnn_loss(
+                &tape,
+                r,
+                rp,
+                &Rc::new(col(&pv)),
+                &Rc::new(col(&sv)),
+                adj,
+                LossParams::default(),
+            );
             assert!(loss.scalar() >= -1e-9, "negative loss {}", loss.scalar());
         }
     }

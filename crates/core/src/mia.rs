@@ -21,33 +21,35 @@ use crate::problem::TargetContext;
 /// Output of MIA for one time step.
 #[derive(Debug, Clone)]
 pub struct MiaOutput {
-    /// Scene features `x̂_t`, shape `N × 4`.
-    pub features: Matrix,
+    /// Scene features `x̂_t`, shape `N × 4`. All dense fields are `Rc`-shared
+    /// so cached slabs flow into tapes via [`xr_tensor::Tape::constant_rc`]
+    /// (zero-copy) instead of being copied once per (step, epoch).
+    pub features: Rc<Matrix>,
     /// Structural difference embedding `Δ_t`, shape `N × 3`.
-    pub delta: Matrix,
+    pub delta: Rc<Matrix>,
     /// Candidate mask `m_t` as an `N × 1` 0/1 column.
-    pub mask: Matrix,
+    pub mask: Rc<Matrix>,
     /// Dense occlusion adjacency `A_t`, shape `N × N`.
-    pub adjacency: Matrix,
+    pub adjacency: Rc<Matrix>,
     /// Row-normalized adjacency `D⁻¹A_t` used as the GNN aggregation
     /// operator: mean aggregation keeps activations bounded on dense
     /// occlusion graphs (sum aggregation saturates sigmoids at N = 200,
     /// where occlusion degrees reach the hundreds). The raw `adjacency`
     /// still feeds the loss's occlusion penalty.
-    pub adjacency_norm: Matrix,
+    pub adjacency_norm: Rc<Matrix>,
     /// Depth-weighted blocking matrix `B_t` feeding the loss's occlusion
     /// penalty `α·r_tᵀB_t r_t`: `B[w][u] = p̂_w` when `u` stands nearer than
     /// `w` and their arcs overlap (recommending `u` hides `w`, forfeiting
     /// `w`'s preference). This refines Def. 7's symmetric `A_t` — the
     /// quadratic form is unchanged, but the penalty now estimates the
     /// *utility actually lost* to occlusion instead of counting edges.
-    pub blocking: Matrix,
+    pub blocking: Rc<Matrix>,
     /// Preference utilities `p̂_t` (`N × 1`), target zeroed and masked by
     /// `m_t` — these feed the POSHGNN loss.
-    pub p_hat: Matrix,
+    pub p_hat: Rc<Matrix>,
     /// Distance-squared-normalized social-presence utilities `ŝ_t` (`N × 1`),
     /// masked by `m_t`.
-    pub s_hat: Matrix,
+    pub s_hat: Rc<Matrix>,
     /// Sparse CSR view of `adjacency`. The dense fields above are derived
     /// from these CSR forms (built directly from the occlusion graph's edge
     /// list in O(N + m)) and are kept for the dense-kernel ablation path and
@@ -57,6 +59,14 @@ pub struct MiaOutput {
     pub adjacency_norm_csr: Rc<CsrAdj>,
     /// Sparse CSR view of `blocking` (loss occlusion penalty).
     pub blocking_csr: Rc<CsrAdj>,
+    /// Transpose of `adjacency_csr`, precomputed for the backward pass so
+    /// BPTT tapes allocate no per-episode transposes (they are shared via
+    /// [`xr_tensor::Tape::sparse_with_transpose`]).
+    pub adjacency_csr_t: Rc<CsrAdj>,
+    /// Transpose of `adjacency_norm_csr` (see `adjacency_csr_t`).
+    pub adjacency_norm_csr_t: Rc<CsrAdj>,
+    /// Transpose of `blocking_csr` (see `adjacency_csr_t`).
+    pub blocking_csr_t: Rc<CsrAdj>,
 }
 
 /// The Multi-modal Information Aggregator. Stateless and parameter-free; it
@@ -141,23 +151,42 @@ impl Mia {
             .collect();
         let blocking_csr = Rc::new(CsrAdj::from_entries(n, n, &blocking_entries));
 
-        let adjacency = adjacency_csr.to_dense();
-        let adjacency_norm = adjacency_norm_csr.to_dense();
-        let blocking = blocking_csr.to_dense();
+        let adjacency = Rc::new(adjacency_csr.to_dense());
+        let adjacency_norm = Rc::new(adjacency_norm_csr.to_dense());
+        let blocking = Rc::new(blocking_csr.to_dense());
+
+        let adjacency_csr_t = Rc::new(adjacency_csr.transpose());
+        let adjacency_norm_csr_t = Rc::new(adjacency_norm_csr.transpose());
+        let blocking_csr_t = Rc::new(blocking_csr.transpose());
 
         MiaOutput {
-            features,
-            delta,
-            mask,
+            features: Rc::new(features),
+            delta: Rc::new(delta),
+            mask: Rc::new(mask),
             adjacency,
             adjacency_norm,
             blocking,
-            p_hat,
-            s_hat,
+            p_hat: Rc::new(p_hat),
+            s_hat: Rc::new(s_hat),
             adjacency_csr,
             adjacency_norm_csr,
             blocking_csr,
+            adjacency_csr_t,
+            adjacency_norm_csr_t,
+            blocking_csr_t,
         }
+    }
+
+    /// Precomputes MIA for every step of an episode as shareable slabs.
+    ///
+    /// MIA is parameter-free: its output depends only on the context, never
+    /// on the model, so one slab serves every training epoch (and every
+    /// inference pass) over the same episode. The `Rc` wrapper lets cached
+    /// matrices flow into tapes via [`xr_tensor::Tape::constant_rc`] without
+    /// cloning.
+    pub fn compute_episode(&self, ctx: &TargetContext) -> Vec<Rc<MiaOutput>> {
+        let _span = xr_obs::span!("poshgnn.mia.compute_episode", steps = ctx.t_max() + 1);
+        (0..=ctx.t_max()).map(|t| Rc::new(self.compute(ctx, t))).collect()
     }
 
     /// Raw (un-normalized, un-masked) features for the "Only PDR" ablation:

@@ -14,6 +14,8 @@
 //! Training backpropagates the POSHGNN loss through the whole episode (the
 //! recurrent gate links consecutive steps), with Adam at `lr = 1e-2`.
 
+use std::rc::Rc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xr_gnn::{Activation, GcnLayer};
@@ -72,6 +74,16 @@ pub struct PoshGnnConfig {
     /// mathematically identical — this flag exists for cross-checking and
     /// for measuring the sparse speedup in benchmarks.
     pub dense_kernels: bool,
+    /// Recompute MIA at every (episode, step) instead of precomputing one
+    /// shared slab per episode. MIA is parameter-free, so the cached path
+    /// (default) is bit-identical; this escape hatch exists for the
+    /// differential oracle and A/B benchmarks. Defaults to the
+    /// `AFTER_FRESH_MIA=1` environment variable.
+    pub fresh_mia: bool,
+    /// Build a fresh `Tape` per episode instead of resetting one pooled
+    /// arena tape. Same bit-identical contract and purpose as `fresh_mia`.
+    /// Defaults to the `AFTER_FRESH_TAPE=1` environment variable.
+    pub fresh_tape: bool,
 }
 
 impl Default for PoshGnnConfig {
@@ -86,6 +98,8 @@ impl Default for PoshGnnConfig {
             variant: PoshVariant::Full,
             symmetric_penalty: false,
             dense_kernels: false,
+            fresh_mia: std::env::var("AFTER_FRESH_MIA").map(|v| v == "1").unwrap_or(false),
+            fresh_tape: std::env::var("AFTER_FRESH_TAPE").map(|v| v == "1").unwrap_or(false),
         }
     }
 }
@@ -106,8 +120,13 @@ pub struct PoshGnn {
     lwp1: GcnLayer,
     lwp2: GcnLayer,
     lwp3: GcnLayer,
-    /// Inference state: (`h_{t-1}`, `r_{t-1}`).
-    episode_state: Option<(Matrix, Matrix)>,
+    /// Inference state: (`h_{t-1}`, `r_{t-1}`), shared into each step's tape
+    /// via `constant_rc` instead of cloned.
+    episode_state: Option<(Rc<Matrix>, Rc<Matrix>)>,
+    /// Per-episode MIA slab for inference, set by `begin_episode`.
+    episode_mia: Option<Vec<Rc<MiaOutput>>>,
+    /// Arena tape reset (not reallocated) at every inference step.
+    infer_tape: Tape,
 }
 
 impl PoshGnn {
@@ -129,7 +148,20 @@ impl PoshGnn {
         pdr2.set_bias(&mut store, -2.0);
         lwp3.set_bias(&mut store, -2.0);
         let optimizer = Adam::with_lr(config.learning_rate);
-        PoshGnn { config, store, optimizer, mia: Mia, pdr1, pdr2, lwp1, lwp2, lwp3, episode_state: None }
+        PoshGnn {
+            config,
+            store,
+            optimizer,
+            mia: Mia,
+            pdr1,
+            pdr2,
+            lwp1,
+            lwp2,
+            lwp3,
+            episode_state: None,
+            episode_mia: None,
+            infer_tape: Tape::new(),
+        }
     }
 
     /// The active configuration.
@@ -161,7 +193,7 @@ impl PoshGnn {
         let features = if variant == PoshVariant::PdrOnly {
             tape.constant(self.mia.raw_features(ctx, t))
         } else {
-            tape.constant(mia_out.features.clone())
+            tape.constant_rc(mia_out.features.clone())
         };
 
         // PDR: h_t then r̃_t (Eq. 1 stack).
@@ -172,19 +204,19 @@ impl PoshGnn {
             (h_t, r_tilde)
         };
 
-        let mask = tape.constant(mia_out.mask.clone());
+        let mask = tape.constant_rc(mia_out.mask.clone());
         let r_t = match variant {
             PoshVariant::PdrOnly => r_tilde,
             PoshVariant::PdrWithMia => mask * r_tilde,
             PoshVariant::Full => {
                 let _lwp = xr_obs::span!("poshgnn.lwp.forward");
-                let delta = tape.constant(mia_out.delta.clone());
+                let delta = tape.constant_rc(mia_out.delta.clone());
                 let lwp_in = tape.concat_cols(&[features, delta, h_prev, r_prev]);
                 let z1 = self.lwp1.forward_agg(tape, &self.store, lwp_in, &agg);
                 let z2 = self.lwp2.forward_agg(tape, &self.store, z1, &agg);
                 let sigma = self.lwp3.forward_agg(tape, &self.store, z2, &agg);
-                // preservation gate
-                mask * (sigma.one_minus() * r_tilde + sigma * r_prev)
+                // preservation gate, as a single fused node
+                mask.gate_blend(sigma, r_tilde, r_prev)
             }
         };
         (r_t, h_t)
@@ -201,10 +233,13 @@ impl PoshGnn {
         r_prev: Var<'t>,
     ) -> (Var<'t>, Var<'t>) {
         if self.config.dense_kernels {
-            let agg = tape.constant(mia_out.adjacency_norm.clone());
+            let agg = tape.constant_rc(mia_out.adjacency_norm.clone());
             self.step_on_tape(tape, ctx, t, mia_out, agg, h_prev, r_prev)
         } else {
-            let agg = tape.sparse(mia_out.adjacency_norm_csr.clone());
+            let agg = tape.sparse_with_transpose(
+                mia_out.adjacency_norm_csr.clone(),
+                mia_out.adjacency_norm_csr_t.clone(),
+            );
             self.step_on_tape(tape, ctx, t, mia_out, agg, h_prev, r_prev)
         }
     }
@@ -216,26 +251,50 @@ impl PoshGnn {
     /// (the `xr_check` finite-difference gradient checker) can differentiate
     /// the same BPTT graph without duplicating the wiring.
     pub fn episode_loss<'t>(&self, tape: &'t Tape, ctx: &TargetContext) -> Var<'t> {
+        self.episode_loss_impl(tape, ctx, |t| Rc::new(self.mia.compute(ctx, t)))
+    }
+
+    /// [`PoshGnn::episode_loss`] reading MIA from a precomputed per-episode
+    /// slab (see [`Mia::compute_episode`]) instead of recomputing it. The
+    /// graph, arithmetic, and result are bit-identical — MIA has no
+    /// parameters, so its output cannot change between epochs — which the
+    /// cached-vs-fresh differential subject in `xr_check` pins.
+    pub fn episode_loss_cached<'t>(
+        &self,
+        tape: &'t Tape,
+        ctx: &TargetContext,
+        slab: &[Rc<MiaOutput>],
+    ) -> Var<'t> {
+        assert_eq!(slab.len(), ctx.t_max() + 1, "MIA slab does not cover the episode");
+        self.episode_loss_impl(tape, ctx, |t| slab[t].clone())
+    }
+
+    fn episode_loss_impl<'t>(
+        &self,
+        tape: &'t Tape,
+        ctx: &TargetContext,
+        mut mia_at: impl FnMut(usize) -> Rc<MiaOutput>,
+    ) -> Var<'t> {
         let n = ctx.n;
-        let mut h_prev = tape.constant(Matrix::zeros(n, self.config.hidden));
-        let mut r_prev = tape.constant(Matrix::zeros(n, 1));
+        let mut h_prev = tape.constant_zeros(n, self.config.hidden);
+        let mut r_prev = tape.constant_zeros(n, 1);
         let mut total: Option<Var<'_>> = None;
         for t in 0..=ctx.t_max() {
             let step_timer = xr_obs::start_timer();
-            let mia_out = self.mia.compute(ctx, t);
+            let mia_out = mia_at(t);
             let (r_t, h_t) = self.step_dispatch(tape, ctx, t, &mia_out, h_prev, r_prev);
             let l = if self.config.dense_kernels {
                 let penalty = if self.config.symmetric_penalty {
-                    tape.constant(mia_out.adjacency.clone())
+                    tape.constant_rc(mia_out.adjacency.clone())
                 } else {
-                    tape.constant(mia_out.blocking.clone())
+                    tape.constant_rc(mia_out.blocking.clone())
                 };
                 poshgnn_loss(tape, r_t, r_prev, &mia_out.p_hat, &mia_out.s_hat, penalty, self.config.loss)
             } else {
                 let penalty = if self.config.symmetric_penalty {
-                    tape.sparse(mia_out.adjacency_csr.clone())
+                    tape.sparse_with_transpose(mia_out.adjacency_csr.clone(), mia_out.adjacency_csr_t.clone())
                 } else {
-                    tape.sparse(mia_out.blocking_csr.clone())
+                    tape.sparse_with_transpose(mia_out.blocking_csr.clone(), mia_out.blocking_csr_t.clone())
                 };
                 poshgnn_loss(tape, r_t, r_prev, &mia_out.p_hat, &mia_out.s_hat, penalty, self.config.loss)
             };
@@ -256,15 +315,30 @@ impl PoshGnn {
     /// episode, so gradients flow through the preservation gate across time.
     pub fn train(&mut self, contexts: &[TargetContext], epochs: usize) -> Vec<f64> {
         let _span = xr_obs::span!("poshgnn.train", epochs = epochs, episodes = contexts.len());
+        // MIA depends only on the contexts, so the cached path pays its cost
+        // once here instead of `epochs ×` times inside the loop.
+        let slabs: Option<Vec<Vec<Rc<MiaOutput>>>> = (!self.config.fresh_mia)
+            .then(|| contexts.iter().map(|ctx| self.mia.compute_episode(ctx)).collect());
+        let arena = Tape::new();
         let mut history = Vec::with_capacity(epochs);
         for epoch in 0..epochs {
             let _epoch_span = xr_obs::span!("poshgnn.train.epoch", epoch = epoch);
             let mut epoch_loss = 0.0;
             let mut steps = 0usize;
-            for ctx in contexts {
+            for (i, ctx) in contexts.iter().enumerate() {
                 let episode_timer = xr_obs::start_timer();
-                let tape = Tape::new();
-                let loss = self.episode_loss(&tape, ctx);
+                let fresh;
+                let tape = if self.config.fresh_tape {
+                    fresh = Tape::new();
+                    &fresh
+                } else {
+                    arena.reset();
+                    &arena
+                };
+                let loss = match &slabs {
+                    Some(s) => self.episode_loss_cached(tape, ctx, &s[i]),
+                    None => self.episode_loss(tape, ctx),
+                };
                 epoch_loss += loss.scalar();
                 steps += 1;
                 loss.backward(&mut self.store);
@@ -284,18 +358,28 @@ impl PoshGnn {
     /// advancing the episode state.
     pub fn soft_recommend(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
         let _span = xr_obs::span!("poshgnn.recommend.step", t = t, n = ctx.n);
-        let (h_prev_m, r_prev_m) = self
-            .episode_state
-            .take()
-            .unwrap_or_else(|| (Matrix::zeros(ctx.n, self.config.hidden), Matrix::zeros(ctx.n, 1)));
-        let tape = Tape::new();
-        let h_prev = tape.constant(h_prev_m);
-        let r_prev = tape.constant(r_prev_m);
-        let mia_out = self.mia.compute(ctx, t);
-        let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
-        let r = r_t.value();
-        self.episode_state = Some((h_t.value(), r.clone()));
-        r.into_vec()
+        let tape = std::mem::take(&mut self.infer_tape);
+        tape.reset();
+        let (h_prev, r_prev) = match self.episode_state.take() {
+            Some((h, r)) => (tape.constant_rc(h), tape.constant_rc(r)),
+            None => (tape.constant_zeros(ctx.n, self.config.hidden), tape.constant_zeros(ctx.n, 1)),
+        };
+        // Use the slab prepared by `begin_episode` when it covers `t`; fall
+        // back to a fresh compute for direct calls outside an episode.
+        let mia_owned;
+        let mia_out: &MiaOutput = match self.episode_mia.as_ref().and_then(|s| s.get(t)) {
+            Some(cached) => cached,
+            None => {
+                mia_owned = self.mia.compute(ctx, t);
+                &mia_owned
+            }
+        };
+        let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, mia_out, h_prev, r_prev);
+        let r = Rc::new(r_t.value());
+        let out = r.as_slice().to_vec();
+        self.episode_state = Some((Rc::new(h_t.value()), r));
+        self.infer_tape = tape;
+        out
     }
 
     /// Read-only view of the parameter store: block names, values, and the
@@ -330,8 +414,9 @@ impl AfterRecommender for PoshGnn {
         }
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {
+    fn begin_episode(&mut self, ctx: &TargetContext) {
         self.episode_state = None;
+        self.episode_mia = (!self.config.fresh_mia).then(|| self.mia.compute_episode(ctx));
     }
 
     fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {

@@ -2,11 +2,17 @@
 //! vs. naive matmul, sparse vs. dense GNN kernels, grid vs. brute-force
 //! crowd neighbor queries, and serial vs. parallel experiment cells.
 //!
-//! Writes `BENCH_pr2.json` at the workspace root (next to `Cargo.toml`) via
-//! the `xr_obs` JSON exporter and prints it to stdout. All "before" numbers
-//! are the pre-overhaul code paths, which are kept callable behind flags
-//! (`matmul_naive`, `dense_kernels`, `use_spatial_grid: false`,
-//! `AFTER_THREADS=1`), so the comparison runs both sides in one build.
+//! Writes `BENCH_pr2.json` and `BENCH_pr4.json` at the workspace root (next
+//! to `Cargo.toml`) via the `xr_obs` JSON exporter and prints them to
+//! stdout. All "before" numbers are the pre-overhaul code paths, which are
+//! kept callable behind flags (`matmul_naive`, `dense_kernels`,
+//! `use_spatial_grid: false`, `AFTER_THREADS=1`, `fresh_mia`/`fresh_tape`),
+//! so the comparison runs both sides in one build.
+//!
+//! `BENCH_pr4.json` covers the training hot-path overhaul: steady-state
+//! train-epoch time with the episode MIA cache + tape arena on vs. off, the
+//! adaptive matmul dispatch crossover table, and the tape-reuse delta in
+//! isolation.
 //!
 //! Usage: `cargo run --release -p xr-eval --bin bench_summary`
 //! Accepts `--trace[=PATH]` / `--metrics[=PATH]` (or `AFTER_TRACE` /
@@ -158,6 +164,136 @@ fn bench_poshgnn_step() -> Json {
     Json::from(rows)
 }
 
+/// Steady-state per-epoch training wall time for two configurations: train
+/// identically seeded models for 1 and 4 epochs and difference, so model
+/// construction, the MIA slab precompute, and pool warm-up (one-time costs)
+/// cancel out. The two configurations' samples are interleaved (one of each
+/// per round) so background-load drift on a shared machine hits both arms
+/// equally instead of skewing whichever happened to run second, and each
+/// arm reports its median over 5 samples after a discarded warmup run.
+/// Returns the per-epoch medians in argument order.
+fn per_epoch_ms_paired(a: PoshGnnConfig, b: PoshGnnConfig, ctxs: &[poshgnn::TargetContext]) -> (f64, f64) {
+    let run = |cfg: PoshGnnConfig, epochs: usize| {
+        let mut model = PoshGnn::new(cfg);
+        let start = Instant::now();
+        std::hint::black_box(model.train(ctxs, epochs));
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    run(a, 1); // warm the allocator and page in the dataset
+    run(b, 1);
+    let sample = |cfg: PoshGnnConfig| {
+        let t1 = run(cfg, 1);
+        let t4 = run(cfg, 4);
+        ((t4 - t1) / 3.0).max(0.0)
+    };
+    let mut sa = Vec::new();
+    let mut sb = Vec::new();
+    for _ in 0..5 {
+        sa.push(sample(a));
+        sb.push(sample(b));
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        v[v.len() / 2]
+    };
+    (median(sa), median(sb))
+}
+
+fn episode_contexts(n: usize, seed: u64) -> Vec<poshgnn::TargetContext> {
+    let dataset = Dataset::generate(DatasetKind::Timik, 4);
+    let scenario_cfg =
+        ScenarioConfig { n_participants: n, time_steps: 30, seed, ..ScenarioConfig::default() };
+    let scenario = dataset.sample_scenario(&scenario_cfg);
+    build_contexts(&scenario, &pick_targets(&scenario, 1, 5), 0.5)
+}
+
+fn bench_train_epoch() -> Json {
+    let sizes = [100usize, 200];
+    let rows: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            let ctxs = episode_contexts(n, 13);
+            let (uncached, cached) = per_epoch_ms_paired(
+                PoshGnnConfig { fresh_mia: true, fresh_tape: true, ..Default::default() },
+                PoshGnnConfig { fresh_mia: false, fresh_tape: false, ..Default::default() },
+                &ctxs,
+            );
+            Json::obj()
+                .set("n", n)
+                .set("time_steps", 30u64)
+                .set("uncached_ms_per_epoch", num3(uncached))
+                .set("cached_ms_per_epoch", num3(cached))
+                .set("speedup", num3(uncached / cached))
+        })
+        .collect();
+    Json::from(rows)
+}
+
+fn bench_tape_reuse() -> Json {
+    // MIA cache on for both sides: only the tape strategy differs.
+    let ctxs = episode_contexts(100, 17);
+    let (fresh, pooled) = per_epoch_ms_paired(
+        PoshGnnConfig { fresh_mia: false, fresh_tape: true, ..Default::default() },
+        PoshGnnConfig { fresh_mia: false, fresh_tape: false, ..Default::default() },
+        &ctxs,
+    );
+    Json::obj()
+        .set("n", 100u64)
+        .set("time_steps", 30u64)
+        .set("fresh_tape_ms_per_epoch", num3(fresh))
+        .set("pooled_tape_ms_per_epoch", num3(pooled))
+        .set("speedup", num3(fresh / pooled))
+}
+
+fn bench_matmul_dispatch() -> Json {
+    let mut rng = StdRng::seed_from_u64(5);
+    let shapes: [(usize, usize, usize); 10] = [
+        (8, 8, 8),
+        (16, 16, 16),
+        (32, 32, 32),
+        (48, 48, 48),
+        (64, 64, 64),
+        (96, 96, 96),
+        (128, 128, 128),
+        (192, 192, 192),
+        (256, 256, 256),
+        (200, 16, 200),
+    ];
+    let rows: Vec<Json> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let flops = m * k * n;
+            // batch small multiplies so each sample is long enough to time
+            let iters = (4_000_000 / flops).max(1);
+            let naive = time_ms(9, || {
+                for _ in 0..iters {
+                    std::hint::black_box(a.matmul_naive(&b));
+                }
+            });
+            let dispatched = time_ms(9, || {
+                for _ in 0..iters {
+                    std::hint::black_box(a.matmul(&b));
+                }
+            });
+            let packed = flops >= Matrix::MATMUL_DISPATCH_THRESHOLD && k >= Matrix::MATMUL_PACK_MIN_K;
+            Json::obj()
+                .set("m", m)
+                .set("k", k)
+                .set("n", n)
+                .set("kernel", if packed { "packed" } else { "chunked" })
+                .set("naive_ms", num3(naive / iters as f64))
+                .set("dispatched_ms", num3(dispatched / iters as f64))
+                .set("speedup", num3(naive / dispatched))
+        })
+        .collect();
+    Json::obj()
+        .set("threshold_flops", Matrix::MATMUL_DISPATCH_THRESHOLD as u64)
+        .set("pack_min_k", Matrix::MATMUL_PACK_MIN_K as u64)
+        .set("sizes", Json::from(rows))
+}
+
 fn bench_parallel_runner() -> Json {
     let dataset = Dataset::generate(DatasetKind::Hubs, 1);
     let cfg = ComparisonConfig {
@@ -189,30 +325,46 @@ fn bench_parallel_runner() -> Json {
 
 fn main() {
     let mut obs = xr_obs::init_cli_env();
-    eprintln!("[1/5] blocked vs naive matmul");
+    eprintln!("[1/8] blocked vs naive matmul");
     let matmul = bench_matmul();
-    eprintln!("[2/5] sparse vs dense aggregation (SpMM)");
+    eprintln!("[2/8] sparse vs dense aggregation (SpMM)");
     let spmm = bench_spmm();
-    eprintln!("[3/5] grid vs brute-force crowd neighbors");
+    eprintln!("[3/8] grid vs brute-force crowd neighbors");
     let crowd = bench_crowd();
-    eprintln!("[4/5] POSHGNN recommend step, sparse vs dense kernels");
+    eprintln!("[4/8] POSHGNN recommend step, sparse vs dense kernels");
     let posh = bench_poshgnn_step();
-    eprintln!("[5/5] comparison runner, 1 thread vs all cores");
+    eprintln!("[5/8] comparison runner, 1 thread vs all cores");
     let runner = bench_parallel_runner();
+    eprintln!("[6/8] train epoch, MIA cache + tape arena vs uncached");
+    let train_epoch = bench_train_epoch();
+    eprintln!("[7/8] tape arena reuse vs fresh tape per episode");
+    let tape_reuse = bench_tape_reuse();
+    eprintln!("[8/8] adaptive matmul dispatch crossover");
+    let dispatch = bench_matmul_dispatch();
 
-    let out = Json::obj()
+    let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
+    let write = |name: &str, json: &Json| {
+        let text = json.pretty();
+        println!("{text}");
+        let path = root.join(name);
+        match std::fs::write(&path, format!("{text}\n")) {
+            Ok(()) => eprintln!("[written to {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    };
+
+    let pr2 = Json::obj()
         .set("matmul", matmul)
         .set("spmm", spmm)
         .set("crowd_step", crowd)
         .set("poshgnn_step", posh)
         .set("comparison_runner", runner);
-    let text = out.pretty();
-    println!("{text}");
-    let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
-    let path = root.join("BENCH_pr2.json");
-    match std::fs::write(&path, format!("{text}\n")) {
-        Ok(()) => eprintln!("[written to {}]", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+    write("BENCH_pr2.json", &pr2);
+
+    let pr4 = Json::obj()
+        .set("train_epoch", train_epoch)
+        .set("tape_reuse", tape_reuse)
+        .set("matmul_dispatch", dispatch);
+    write("BENCH_pr4.json", &pr4);
     obs.finish();
 }

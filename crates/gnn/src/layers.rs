@@ -26,6 +26,16 @@ impl Activation {
             Activation::Tanh => x.tanh(),
         }
     }
+
+    /// The equivalent [`xr_tensor::Nonlinearity`] for fused epilogues.
+    pub fn nonlinearity(&self) -> xr_tensor::Nonlinearity {
+        match self {
+            Activation::None => xr_tensor::Nonlinearity::None,
+            Activation::Relu => xr_tensor::Nonlinearity::Relu,
+            Activation::Sigmoid => xr_tensor::Nonlinearity::Sigmoid,
+            Activation::Tanh => xr_tensor::Nonlinearity::Tanh,
+        }
+    }
 }
 
 /// A fully connected layer `act(X·W + b)`.
@@ -179,7 +189,9 @@ impl GcnLayer {
         let b = tape.param(store, self.bias);
         let own = h.matmul(w1);
         let neigh = adj.left_matmul(h).matmul(w2);
-        self.activation.apply((own + neigh).add_row_broadcast(b))
+        // fused epilogue: bit-identical to
+        // `self.activation.apply((own + neigh).add_row_broadcast(b))`
+        own.sum_bias_act(neigh, b, self.activation.nonlinearity())
     }
 }
 

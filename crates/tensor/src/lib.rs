@@ -52,4 +52,4 @@ pub mod tape;
 pub use matrix::{Matrix, ShapeError};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use sparse::{CsrAdj, LinOp};
-pub use tape::{ParamId, ParamStore, SparseVar, Tape, TapeLinOp, Var};
+pub use tape::{Nonlinearity, ParamId, ParamStore, SparseVar, Tape, TapeLinOp, Var};

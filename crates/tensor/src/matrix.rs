@@ -24,6 +24,18 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Row-block height of the tiled matmul kernels' register tile.
+///
+/// 2 (not the textbook 4): the baseline x86-64 target has 16 XMM registers,
+/// and a 2×8 tile is 16 doubles = 8 XMM accumulators, leaving room for the
+/// `a` broadcasts and the B-row loads. A 4×8 tile (32 doubles) spills the
+/// accumulators to the stack every `k` iteration and measured *slower* than
+/// the naive loop at every size (BENCH_pr4 calibration).
+const MATMUL_MR: usize = 2;
+/// Column width of the tiled matmul kernels' register tile: `MR × NR`
+/// accumulators stay in registers across the whole `k` loop.
+const MATMUL_NR: usize = 8;
+
 /// A dense row-major matrix of `f64`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -155,66 +167,63 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs` via the cache-blocked kernel.
+    /// Matrix product `self · rhs` via the size-adaptive dispatcher.
     ///
-    /// Same contiguous saxpy inner loop as [`Self::matmul_naive`] (that loop
-    /// auto-vectorizes well), but iterated over `k × j` tiles of
-    /// [`Self::MATMUL_TILE`]² entries, so one 32 KiB tile of `rhs` stays
-    /// L1-resident while every row of A streams past it — instead of
-    /// re-streaming all of `rhs` from L2/L3 once per output row. Products
-    /// small enough that `rhs` trivially fits in cache fall through to
-    /// [`Self::matmul_naive`]. Per output entry both kernels accumulate over
-    /// `k` in ascending order with identical arithmetic, so results match
-    /// bit-for-bit — the equivalence property test pins this.
+    /// Products below [`Self::MATMUL_DISPATCH_THRESHOLD`] flops run the
+    /// unpacked register-tiled kernel of [`Self::matmul_chunked_into`] — at
+    /// those sizes B is cache-resident, so repacking it into panels is pure
+    /// overhead. Larger products run the packed-B register-tiled kernel of
+    /// [`Self::matmul_packed_into`]. Per output entry every kernel
+    /// accumulates over `k` in ascending order with identical arithmetic
+    /// (including the `a == 0.0` skip), so results match bit-for-bit with
+    /// the reference [`Self::matmul_naive`] — the kernel-equivalence
+    /// property test and the differential oracle pin this.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Dispatch boundary of [`Self::matmul`], in multiply-adds (`m·k·n`).
+    ///
+    /// Calibrated on the bench_summary crossover table (see BENCH_pr4.json):
+    /// the packed kernel's B-panel repack pays for itself once B no longer
+    /// fits the L1/L2 working set — measured between 64³ (≈0.26 Mflop,
+    /// unpacked still ahead) and 128³ (≈2.1 Mflop, packed ahead) on the
+    /// reference container, so the boundary sits at 0.5 Mflop. Below it the
+    /// unpacked register-tiled kernel wins or ties at every measured shape.
+    pub const MATMUL_DISPATCH_THRESHOLD: usize = 512 * 1024;
+
+    /// Minimum contraction depth for the packed kernel. The `O(k·n)` panel
+    /// repack amortizes over the `k` loop, so shallow-`k` products (e.g.
+    /// `200×16 · 16×200`, which clears the flop threshold on width alone)
+    /// would pay the repack without reusing the panels enough to win —
+    /// measured ~0.9x vs naive. Those stay on the unpacked kernel.
+    pub const MATMUL_PACK_MIN_K: usize = 32;
+
+    /// Like [`Self::matmul`], but writes the product into `out`
+    /// (overwriting every entry) instead of allocating. `out` must already
+    /// have shape `rows × rhs.cols`; its prior contents are ignored.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into output shape mismatch");
         let (m, kd, n) = (self.rows, self.cols, rhs.cols);
-        if m * kd * n < 32 * 32 * 32 {
-            return self.matmul_naive(rhs);
+        if m * kd * n < Self::MATMUL_DISPATCH_THRESHOLD || kd < Self::MATMUL_PACK_MIN_K {
+            self.matmul_chunked_into(rhs, out);
+        } else {
+            self.matmul_packed_into(rhs, out);
         }
-        const TILE: usize = Matrix::MATMUL_TILE;
-        let mut out = Matrix::zeros(m, n);
-        let mut kk = 0;
-        while kk < kd {
-            let kend = (kk + TILE).min(kd);
-            let mut jj = 0;
-            while jj < n {
-                let jend = (jj + TILE).min(n);
-                for i in 0..m {
-                    let arow = &self.data[i * kd + kk..i * kd + kend];
-                    let orow = &mut out.data[i * n + jj..i * n + jend];
-                    for (dk, &a) in arow.iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let k = kk + dk;
-                        let brow = &rhs.data[k * n + jj..k * n + jend];
-                        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-                jj = jend;
-            }
-            kk = kend;
-        }
-        out
     }
-
-    /// Tile edge (in elements) of the blocked [`Self::matmul`] kernel: a
-    /// 64×64 `f64` B tile is 32 KiB, sized to stay resident in a typical
-    /// L1 data cache while A rows stream through it.
-    pub const MATMUL_TILE: usize = 64;
 
     /// Matrix product `self · rhs` via the straightforward i-k-j loop.
     ///
-    /// Kept as the reference implementation for the blocked [`Self::matmul`]
-    /// kernel's equivalence property test, and as the faster path for the
-    /// tiny products the blocked kernel delegates here.
+    /// Kept as the reference implementation for the dispatching
+    /// [`Self::matmul`] kernel's equivalence property test, and as the
+    /// faster path for products below the dispatch threshold.
     pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
@@ -222,6 +231,12 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_naive_into(rhs, &mut out);
+        out
+    }
+
+    fn matmul_naive_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        out.fill(0.0);
         // i-k-j loop order keeps the inner loop contiguous over both `rhs`
         // and `out` rows, which matters even at these small sizes.
         for i in 0..self.rows {
@@ -237,18 +252,256 @@ impl Matrix {
                 }
             }
         }
-        out
+    }
+
+    /// The below-threshold kernel: the same [`MATMUL_MR`]`×`[`MATMUL_NR`]
+    /// register tile as the packed kernel, but reading B rows in place —
+    /// at these sizes B is already cache-resident, so packing would only
+    /// add traffic. The win over the plain i-k-j loop is that each output
+    /// tile accumulates in registers across the whole `k` range instead of
+    /// re-loading and re-storing the output row every `k` step (~2× on the
+    /// model's own `n≤16`-wide products; see BENCH_pr4.json). For each
+    /// output entry the `k` loop runs the full range in ascending order
+    /// with the same `a == 0.0` skip as the naive loop, so results are
+    /// bit-for-bit identical.
+    fn matmul_chunked_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        const MR: usize = MATMUL_MR;
+        const NR: usize = MATMUL_NR;
+        let (m, kd, n) = (self.rows, self.cols, rhs.cols);
+        if n == 1 {
+            // Column output: one dot product per row. The general tile path
+            // pays per-`k` slice overhead for a single lane; this runs the
+            // same ascending-`k` loop (with the same skip) directly.
+            for i in 0..m {
+                let arow = &self.data[i * kd..(i + 1) * kd];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(rhs.data.iter()) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * b;
+                }
+                out.data[i] = acc;
+            }
+            return;
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR.min(n - j0);
+            let mut i = 0;
+            if w == NR {
+                while i + MR <= m {
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for k in 0..kd {
+                        let brow = &rhs.data[k * n + j0..k * n + j0 + NR];
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let a = self.data[(i + r) * kd + k];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            for (o, &b) in accr.iter_mut().zip(brow.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        out.data[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(accr);
+                    }
+                    i += MR;
+                }
+            }
+            // leftover rows, and the ragged right edge (w < NR)
+            while i < m {
+                let mut acc = [0.0f64; NR];
+                for k in 0..kd {
+                    let a = self.data[i * kd + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * n + j0..k * n + j0 + w];
+                    for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
+                }
+                out.data[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+                i += 1;
+            }
+            j0 += NR;
+        }
+    }
+
+    /// The above-threshold kernel: `rhs` is repacked into zero-padded
+    /// panels of [`MATMUL_NR`] contiguous columns, then each `MATMUL_MR`-row
+    /// block of A is multiplied against a panel with the accumulator tile
+    /// held in registers. One panel (`k × NR` doubles) stays L1-resident
+    /// while A rows stream past it, and each loaded B cache line feeds
+    /// `MR` rows of output instead of one — the classic BLIS shape, minus
+    /// k-blocking, which would reorder the per-entry accumulation and break
+    /// bit-identity with the naive kernel. For each output entry the `k`
+    /// loop runs the full range in ascending order with the same
+    /// `a == 0.0` skip as the naive loop, so the arithmetic sequence is
+    /// identical. Padded panel columns are computed and discarded.
+    fn matmul_packed_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        const MR: usize = MATMUL_MR;
+        const NR: usize = MATMUL_NR;
+        let (m, kd, n) = (self.rows, self.cols, rhs.cols);
+        let panels = n.div_ceil(NR);
+        let mut packed = vec![0.0f64; panels * kd * NR];
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &mut packed[p * kd * NR..(p + 1) * kd * NR];
+            for k in 0..kd {
+                panel[k * NR..k * NR + w].copy_from_slice(&rhs.data[k * n + j0..k * n + j0 + w]);
+            }
+        }
+        for p in 0..panels {
+            let j0 = p * NR;
+            let w = NR.min(n - j0);
+            let panel = &packed[p * kd * NR..(p + 1) * kd * NR];
+            let mut i = 0;
+            while i + MR <= m {
+                let mut acc = [[0.0f64; NR]; MR];
+                for k in 0..kd {
+                    let brow = &panel[k * NR..k * NR + NR];
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let a = self.data[(i + r) * kd + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in accr.iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    out.data[(i + r) * n + j0..(i + r) * n + j0 + w].copy_from_slice(&accr[..w]);
+                }
+                i += MR;
+            }
+            // leftover rows: same panel, one accumulator row at a time
+            while i < m {
+                let mut acc = [0.0f64; NR];
+                for k in 0..kd {
+                    let a = self.data[i * kd + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &panel[k * NR..k * NR + NR];
+                    for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
+                }
+                out.data[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+                i += 1;
+            }
+        }
+    }
+
+    /// `selfᵀ · rhs` without materializing the transpose, written into
+    /// `out` (shape `self.cols × rhs.cols`), overwriting every entry.
+    ///
+    /// Bit-for-bit identical to `self.transpose().matmul(rhs)`: per output
+    /// entry the contraction index (rows of both operands) runs in
+    /// ascending order with the same `a == 0.0` skip, in the same
+    /// register-tiled chunks as [`Self::matmul_chunked_into`]. This is the
+    /// backward-pass kernel for `∂(A·B)/∂B = Aᵀ·G` — the transpose of a
+    /// tall activation matrix is pure strided traffic, so fusing it away
+    /// removes an allocation and a copy per matmul per backward step.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at_b shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_at_b output shape mismatch");
+        const MR: usize = MATMUL_MR;
+        const NR: usize = MATMUL_NR;
+        let (m, kd, n) = (self.cols, self.rows, rhs.cols);
+        if n == 1 {
+            // Gradient-of-bias/column shape (`Aᵀ·g` with `g` a column):
+            // iterate `k` outermost so `self` streams row-sequentially; the
+            // `m` partial sums (one per output entry) stay cache-hot. Per
+            // output entry `k` still ascends with the same skip.
+            out.data.fill(0.0);
+            for k in 0..kd {
+                let b = rhs.data[k];
+                let arow = &self.data[k * m..(k + 1) * m];
+                for (o, &a) in out.data.iter_mut().zip(arow.iter()) {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    *o += a * b;
+                }
+            }
+            return;
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let w = NR.min(n - j0);
+            let mut i = 0;
+            if w == NR {
+                while i + MR <= m {
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for k in 0..kd {
+                        let brow = &rhs.data[k * n + j0..k * n + j0 + NR];
+                        let arow = &self.data[k * m..(k + 1) * m];
+                        for (r, accr) in acc.iter_mut().enumerate() {
+                            let a = arow[i + r];
+                            if a == 0.0 {
+                                continue;
+                            }
+                            for (o, &b) in accr.iter_mut().zip(brow.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        out.data[(i + r) * n + j0..(i + r) * n + j0 + NR].copy_from_slice(accr);
+                    }
+                    i += MR;
+                }
+            }
+            while i < m {
+                let mut acc = [0.0f64; NR];
+                for k in 0..kd {
+                    let a = self.data[k * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &rhs.data[k * n + j0..k * n + j0 + w];
+                    for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                        *o += a * b;
+                    }
+                }
+                out.data[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+                i += 1;
+            }
+            j0 += NR;
+        }
     }
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into `out` (shape `cols × rows`), overwriting every entry.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into output shape mismatch");
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out[(c, r)] = self[(r, c)];
             }
         }
-        out
+    }
+
+    /// Overwrites `self` with the contents of `src` (shapes must match).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Entry-wise binary combination; shapes must match.
@@ -256,6 +509,23 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_with shape mismatch");
         let data = self.data.iter().zip(rhs.data.iter()).map(|(&a, &b)| f(a, b)).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Entry-wise binary combination into `out`, overwriting every entry.
+    pub fn zip_with_into(&self, rhs: &Matrix, out: &mut Matrix, mut f: impl FnMut(f64, f64) -> f64) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_with_into shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "zip_with_into output shape mismatch");
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(rhs.data.iter()) {
+            *o = f(a, b);
+        }
+    }
+
+    /// Entry-wise map into `out`, overwriting every entry.
+    pub fn map_into(&self, out: &mut Matrix, mut f: impl FnMut(f64) -> f64) {
+        assert_eq!(self.shape(), out.shape(), "map_into output shape mismatch");
+        for (o, &a) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(a);
+        }
     }
 
     /// Entry-wise sum.
@@ -427,10 +697,10 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matmul_matches_naive_above_delegation_threshold() {
-        // Shapes chosen to exercise partial edge tiles in every dimension
-        // and to exceed the small-product fallback to matmul_naive.
-        for &(m, k, n) in &[(65, 70, 33), (128, 64, 64), (40, 200, 37)] {
+    fn packed_matmul_matches_naive_above_dispatch_threshold() {
+        // Shapes above MATMUL_DISPATCH_THRESHOLD, chosen to exercise partial
+        // register tiles in both the row (m % MR) and panel (n % NR) edges.
+        for &(m, k, n) in &[(65, 70, 130), (128, 64, 64), (40, 200, 37)] {
             let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
             let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
             let blocked = a.matmul(&b);

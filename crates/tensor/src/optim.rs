@@ -28,8 +28,8 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore) {
-        for id in store.ids().collect::<Vec<_>>() {
-            store.sgd_step_slot(id, self.lr);
+        for id in 0..store.len() {
+            store.sgd_step_slot(crate::tape::ParamId(id), self.lr);
         }
         store.zero_grads();
     }
@@ -86,8 +86,8 @@ impl Optimizer for Adam {
         let b2 = self.beta2;
         let bc1 = 1.0 - b1.powi(self.t as i32);
         let bc2 = 1.0 - b2.powi(self.t as i32);
-        for id in store.ids().collect::<Vec<_>>() {
-            let (value, m, v, grad) = store.adam_state(id);
+        for id in 0..store.len() {
+            let (value, m, v, grad) = store.adam_state(crate::tape::ParamId(id));
             let (rows, cols) = value.shape();
             for r in 0..rows {
                 for c in 0..cols {

@@ -182,22 +182,119 @@ impl CsrAdj {
             rhs.rows(),
             rhs.cols()
         );
-        let timer = xr_obs::start_timer();
         let mut out = Matrix::zeros(self.rows, rhs.cols());
-        for i in 0..self.rows {
-            let orow = out.row_mut(i);
-            for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
-                let a = self.vals[idx];
-                let rrow = rhs.row(self.col_idx[idx]);
-                // plain `a*b + o` on purpose: `mul_add` is a libm call on
-                // targets without baseline FMA, and this loop is the hot one
-                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * b;
+        self.matmul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// Like [`CsrAdj::matmul_dense`], but writes the product into `out`
+    /// (overwriting every entry) instead of allocating. `out` must already
+    /// have shape `rows × rhs.cols`; its prior contents are ignored.
+    pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.rows(),
+            "spmm shape mismatch: {}x{} · {}x{}",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "spmm output shape mismatch");
+        let timer = xr_obs::start_timer();
+        // Register-accumulated in 8-wide column chunks: the chunk's partial
+        // sums live in registers across the whole CSR row instead of
+        // re-loading/re-storing the output row once per nonzero. Per output
+        // entry the accumulation order over the row's entries is unchanged,
+        // so results are bit-identical to the plain scatter loop. Plain
+        // `a*b + o` on purpose: `mul_add` is a libm call on targets without
+        // baseline FMA, and this loop is the hot one.
+        // Narrow right-hand sides (all the model's aggregations: 1–16
+        // columns) get single-pass paths that read each row's CSR entries
+        // exactly once, with every partial sum in registers; wider ones fall
+        // back to 8-wide chunked passes.
+        const NR: usize = 8;
+        let cols = rhs.cols();
+        if cols == 1 {
+            // Pure SpMV: no row-slice machinery per nonzero.
+            let b = rhs.as_slice();
+            let o = out.as_mut_slice();
+            for (i, oi) in o.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for idx in self.row_ptr[i]..self.row_ptr[i + 1] {
+                    acc += self.vals[idx] * b[self.col_idx[idx]];
+                }
+                *oi = acc;
+            }
+        } else if cols <= 2 * NR {
+            for i in 0..self.rows {
+                let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
+                let mut acc = [0.0f64; 2 * NR];
+                if cols == NR / 2 {
+                    for idx in start..end {
+                        let a = self.vals[idx];
+                        let brow = rhs.row(self.col_idx[idx]);
+                        for (o, &b) in acc[..NR / 2].iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                } else if cols == NR {
+                    for idx in start..end {
+                        let a = self.vals[idx];
+                        let brow = rhs.row(self.col_idx[idx]);
+                        for (o, &b) in acc[..NR].iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                } else if cols == 2 * NR {
+                    for idx in start..end {
+                        let a = self.vals[idx];
+                        let brow = rhs.row(self.col_idx[idx]);
+                        for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                } else {
+                    for idx in start..end {
+                        let a = self.vals[idx];
+                        let brow = rhs.row(self.col_idx[idx]);
+                        for (o, &b) in acc[..cols].iter_mut().zip(brow.iter()) {
+                            *o += a * b;
+                        }
+                    }
+                }
+                out.row_mut(i).copy_from_slice(&acc[..cols]);
+            }
+        } else {
+            for i in 0..self.rows {
+                let (start, end) = (self.row_ptr[i], self.row_ptr[i + 1]);
+                let mut j0 = 0;
+                while j0 < cols {
+                    let w = NR.min(cols - j0);
+                    let mut acc = [0.0f64; NR];
+                    if w == NR {
+                        for idx in start..end {
+                            let a = self.vals[idx];
+                            let brow = &rhs.row(self.col_idx[idx])[j0..j0 + NR];
+                            for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    } else {
+                        for idx in start..end {
+                            let a = self.vals[idx];
+                            let brow = &rhs.row(self.col_idx[idx])[j0..j0 + w];
+                            for (o, &b) in acc.iter_mut().zip(brow.iter()) {
+                                *o += a * b;
+                            }
+                        }
+                    }
+                    out.row_mut(i)[j0..j0 + w].copy_from_slice(&acc[..w]);
+                    j0 += NR;
                 }
             }
         }
         xr_obs::observe_since("xr_tensor.csr.spmm.ms", &[], timer);
-        out
     }
 
     /// Sparse matrix–vector product `self · x`.
