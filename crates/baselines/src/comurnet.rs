@@ -19,7 +19,7 @@
 //! as Table III reports.
 
 use poshgnn::recommender::{mask_from_indices, AfterRecommender};
-use poshgnn::TargetContext;
+use poshgnn::StepView;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -89,19 +89,19 @@ impl ComurNetRecommender {
         }
     }
 
-    /// Per-candidate feature row at time `t`.
-    fn candidate_features(ctx: &TargetContext, t: usize, w: usize) -> [f64; CAND_FEATURES] {
-        let deg = ctx.occlusion[t].degree(w) as f64 / ctx.n as f64;
-        let dist = (ctx.distances[t][w] / ctx.room_diagonal).min(1.0);
-        [ctx.preference[w], ctx.social[w], deg, dist, if ctx.mr_mask[w] { 1.0 } else { 0.0 }]
+    /// Per-candidate feature row at the view's tick.
+    fn candidate_features(view: &StepView<'_>, w: usize) -> [f64; CAND_FEATURES] {
+        let deg = view.occlusion().degree(w) as f64 / view.n() as f64;
+        let dist = (view.distances()[w] / view.room_diagonal()).min(1.0);
+        [view.preference()[w], view.social()[w], deg, dist, if view.mr_mask()[w] { 1.0 } else { 0.0 }]
     }
 
     /// Runs one set-construction episode. When `sample` is true the policy
     /// is sampled (and trained); otherwise actions are greedy and no
     /// gradients are computed. Returns the selected set.
-    fn episode(&mut self, ctx: &TargetContext, t: usize, sample: bool) -> Vec<usize> {
-        let n = ctx.n;
-        let mut feasible: Vec<usize> = (0..n).filter(|&w| w != ctx.target).collect();
+    fn episode(&mut self, view: &StepView<'_>, sample: bool) -> Vec<usize> {
+        let n = view.n();
+        let mut feasible: Vec<usize> = (0..n).filter(|&w| w != view.target()).collect();
         let mut selected = Vec::new();
 
         if sample {
@@ -111,7 +111,7 @@ impl ComurNetRecommender {
             let mean_features = {
                 let mut m = [0.0; CAND_FEATURES];
                 for &w in &feasible {
-                    let f = Self::candidate_features(ctx, t, w);
+                    let f = Self::candidate_features(view, w);
                     for (acc, x) in m.iter_mut().zip(f) {
                         *acc += x;
                     }
@@ -123,7 +123,7 @@ impl ComurNetRecommender {
             while !feasible.is_empty() && selected.len() < self.config.max_actions {
                 let c = feasible.len();
                 let feats = Matrix::from_fn(c, CAND_FEATURES, |r, col| {
-                    Self::candidate_features(ctx, t, feasible[r])[col]
+                    Self::candidate_features(view, feasible[r])[col]
                 });
                 let x = tape.constant(feats);
                 let logits = self.actor.forward(&tape, &self.store, x); // c × 1
@@ -157,10 +157,10 @@ impl ComurNetRecommender {
                 // apply the hard no-occlusion constraint
                 let chosen = feasible[pick];
                 selected.push(chosen);
-                feasible.retain(|&w| w != chosen && !ctx.occlusion[t].has_edge(w, chosen));
+                feasible.retain(|&w| w != chosen && !view.occlusion().has_edge(w, chosen));
             }
 
-            let reward: f64 = selected.iter().map(|&w| ctx.preference[w]).sum();
+            let reward: f64 = selected.iter().map(|&w| view.preference()[w]).sum();
             let state = tape.constant(mean_features);
             let value = self.critic.forward(&tape, &self.store, state).sum();
             let advantage = reward - value.scalar();
@@ -179,7 +179,7 @@ impl ComurNetRecommender {
                 let tape = Tape::new();
                 let c = feasible.len();
                 let feats = Matrix::from_fn(c, CAND_FEATURES, |r, col| {
-                    Self::candidate_features(ctx, t, feasible[r])[col]
+                    Self::candidate_features(view, feasible[r])[col]
                 });
                 let x = tape.constant(feats);
                 let z = self.actor.forward(&tape, &self.store, x).value();
@@ -188,7 +188,7 @@ impl ComurNetRecommender {
                     .expect("non-empty feasible set");
                 let chosen = feasible[pick];
                 selected.push(chosen);
-                feasible.retain(|&w| w != chosen && !ctx.occlusion[t].has_edge(w, chosen));
+                feasible.retain(|&w| w != chosen && !view.occlusion().has_edge(w, chosen));
             }
         }
         selected
@@ -200,17 +200,17 @@ impl AfterRecommender for ComurNetRecommender {
         "COMURNet".to_string()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {
+    fn begin_episode(&mut self, _view: &StepView<'_>) {
         self.rng = StdRng::seed_from_u64(self.config.seed);
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
         // per-step episodic training — the source of COMURNet's runtime cost
         for _ in 0..self.config.rollouts {
-            self.episode(ctx, t, true);
+            self.episode(view, true);
         }
-        let selected = self.episode(ctx, t, false);
-        mask_from_indices(ctx.n, &selected)
+        let selected = self.episode(view, false);
+        mask_from_indices(view.n(), &selected)
     }
 
     fn latency_steps(&self) -> usize {

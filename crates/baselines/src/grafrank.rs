@@ -16,7 +16,7 @@
 //!   mode the paper's tables demonstrate.
 
 use poshgnn::recommender::{mask_from_indices, top_k_indices, AfterRecommender};
-use poshgnn::TargetContext;
+use poshgnn::StepView;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -187,11 +187,11 @@ impl AfterRecommender for GraFrankRecommender {
         "GraFrank".to_string()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+    fn begin_episode(&mut self, _view: &StepView<'_>) {}
 
-    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
-        let idx = top_k_indices(&self.scores[ctx.target], ctx.target, self.top_k);
-        mask_from_indices(ctx.n, &idx)
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let idx = top_k_indices(&self.scores[view.target()], view.target(), self.top_k);
+        mask_from_indices(view.n(), &idx)
     }
 }
 

@@ -11,7 +11,7 @@
 //! the paper's experiments expose).
 
 use poshgnn::recommender::AfterRecommender;
-use poshgnn::TargetContext;
+use poshgnn::StepView;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -139,11 +139,11 @@ impl AfterRecommender for MvAgcRecommender {
         self.name.clone()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+    fn begin_episode(&mut self, _view: &StepView<'_>) {}
 
-    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
-        let own = self.clusters[ctx.target];
-        (0..ctx.n).map(|w| w != ctx.target && self.clusters[w] == own).collect()
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let own = self.clusters[view.target()];
+        (0..view.n()).map(|w| w != view.target() && self.clusters[w] == own).collect()
     }
 }
 

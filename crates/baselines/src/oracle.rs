@@ -13,7 +13,7 @@
 //! `optimality_gap` binary).
 
 use poshgnn::recommender::{mask_from_indices, AfterRecommender};
-use poshgnn::TargetContext;
+use poshgnn::StepView;
 use xr_graph::circular::{mwis_circular_arcs, CircArc};
 
 /// The myopic MWIS oracle.
@@ -39,32 +39,33 @@ impl AfterRecommender for MwisOracle {
         "MWIS-Oracle".to_string()
     }
 
-    fn begin_episode(&mut self, ctx: &TargetContext) {
-        self.prev_visible = vec![false; ctx.n];
+    fn begin_episode(&mut self, view: &StepView<'_>) {
+        self.prev_visible = vec![false; view.n()];
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-        let n = ctx.n;
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let n = view.n();
+        let (mask, preference, social) = (view.candidate_mask(), view.preference(), view.social());
         // per-step AFTER payoff under the previous visibility outcome
         let weights: Vec<f64> = (0..n)
             .map(|w| {
-                if w == ctx.target || !ctx.candidate_mask[t][w] {
+                if w == view.target() || !mask[w] {
                     0.0
                 } else {
-                    (1.0 - ctx.beta) * ctx.preference[w]
-                        + ctx.beta * (self.prev_visible[w] as u8 as f64) * ctx.social[w]
+                    (1.0 - view.beta()) * preference[w]
+                        + view.beta() * (self.prev_visible[w] as u8 as f64) * social[w]
                 }
             })
             .collect();
-        let arcs: Vec<Option<CircArc>> = ctx
-            .converter
-            .arcs(ctx.target, &ctx.positions[t])
+        let arcs: Vec<Option<CircArc>> = view
+            .converter()
+            .arcs(view.target(), view.positions())
             .iter()
             .map(|a| a.as_ref().map(CircArc::from_view_arc))
             .collect();
         let solution = mwis_circular_arcs(&arcs, &weights);
         let rec = mask_from_indices(n, &solution.nodes);
-        self.prev_visible = ctx.visibility(t, &rec);
+        self.prev_visible = view.visibility(&rec);
         rec
     }
 }

@@ -10,7 +10,7 @@
 use poshgnn::loss::{poshgnn_loss, LossParams};
 use poshgnn::mia::Mia;
 use poshgnn::recommender::{threshold_decision, AfterRecommender};
-use poshgnn::TargetContext;
+use poshgnn::{StepView, TargetContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xr_gnn::{transition_matrix, Activation, DcGruCell, Dense, TgcnCell};
@@ -171,23 +171,23 @@ impl AfterRecommender for RnnRecommender {
         }
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {
+    fn begin_episode(&mut self, _view: &StepView<'_>) {
         self.state = None;
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-        let h_prev_m = self.state.take().unwrap_or_else(|| Matrix::zeros(ctx.n, self.config.hidden));
-        let mia_out = self.mia.compute(ctx, t);
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let h_prev_m = self.state.take().unwrap_or_else(|| Matrix::zeros(view.n(), self.config.hidden));
+        let mia_out = self.mia.compute_view(view);
         let tape = Tape::new();
         let h_prev = tape.constant(h_prev_m);
         let (r, h) = self.step_on_tape(
             &tape,
-            self.mia.raw_features(ctx, t),
+            self.mia.raw_features_view(view),
             self.graph_operator(&mia_out.adjacency),
             h_prev,
         );
         self.state = Some(h.value());
-        threshold_decision(&r.value().into_vec(), ctx.target, self.config.threshold)
+        threshold_decision(&r.value().into_vec(), view.target(), self.config.threshold)
     }
 }
 

@@ -1,7 +1,7 @@
 //! The two trivial baselines: Random and Nearest (§V-A.2).
 
 use poshgnn::recommender::{mask_from_indices, top_k_indices, AfterRecommender};
-use poshgnn::TargetContext;
+use poshgnn::StepView;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -25,15 +25,15 @@ impl AfterRecommender for RandomRecommender {
         "Random".to_string()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {
+    fn begin_episode(&mut self, _view: &StepView<'_>) {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
-        let mut candidates: Vec<usize> = (0..ctx.n).filter(|&w| w != ctx.target).collect();
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let mut candidates: Vec<usize> = (0..view.n()).filter(|&w| w != view.target()).collect();
         candidates.shuffle(&mut self.rng);
         candidates.truncate(self.k);
-        mask_from_indices(ctx.n, &candidates)
+        mask_from_indices(view.n(), &candidates)
     }
 }
 
@@ -54,13 +54,13 @@ impl AfterRecommender for NearestRecommender {
         "Nearest".to_string()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+    fn begin_episode(&mut self, _view: &StepView<'_>) {}
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
         // negate distances so top-k picks the nearest
-        let scores: Vec<f64> = ctx.distances[t].iter().map(|&d| -d).collect();
-        let idx = top_k_indices(&scores, ctx.target, self.k);
-        mask_from_indices(ctx.n, &idx)
+        let scores: Vec<f64> = view.distances().iter().map(|&d| -d).collect();
+        let idx = top_k_indices(&scores, view.target(), self.k);
+        mask_from_indices(view.n(), &idx)
     }
 }
 
@@ -93,8 +93,8 @@ mod tests {
     fn nearest_selects_closest_users() {
         let ctx = tiny_context(10, 5, 3);
         let mut r = NearestRecommender::new(3);
-        r.begin_episode(&ctx);
-        let rec = r.recommend_step(&ctx, 0);
+        r.begin_episode(&StepView::new(&ctx, 0));
+        let rec = r.recommend_step(&StepView::new(&ctx, 0));
         let selected: Vec<usize> = (0..ctx.n).filter(|&w| rec[w]).collect();
         assert_eq!(selected.len(), 3);
         // every selected user is nearer than every unselected non-target user

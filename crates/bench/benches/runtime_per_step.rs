@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use poshgnn::recommender::AfterRecommender;
-use poshgnn::{PoshGnn, PoshGnnConfig, TargetContext};
+use poshgnn::{PoshGnn, PoshGnnConfig, StepView, TargetContext};
 use xr_baselines::{
     ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender,
     NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
@@ -22,37 +22,39 @@ fn scene(n: usize) -> (Scenario, TargetContext) {
 
 fn bench_methods(c: &mut Criterion) {
     let (scenario, ctx) = scene(100);
+    let start = StepView::new(&ctx, 0);
+    let view = StepView::new(&ctx, 10);
     let mut group = c.benchmark_group("recommend_step_n100");
 
     let mut posh = PoshGnn::new(PoshGnnConfig::default());
-    posh.begin_episode(&ctx);
-    group.bench_function("POSHGNN", |b| b.iter(|| posh.recommend_step(&ctx, 10)));
+    posh.begin_episode(&start);
+    group.bench_function("POSHGNN", |b| b.iter(|| posh.recommend_step(&view)));
 
     let mut random = RandomRecommender::new(10, 1);
-    group.bench_function("Random", |b| b.iter(|| random.recommend_step(&ctx, 10)));
+    group.bench_function("Random", |b| b.iter(|| random.recommend_step(&view)));
 
     let mut nearest = NearestRecommender::new(10);
-    group.bench_function("Nearest", |b| b.iter(|| nearest.recommend_step(&ctx, 10)));
+    group.bench_function("Nearest", |b| b.iter(|| nearest.recommend_step(&view)));
 
     let mut mvagc = MvAgcRecommender::fit(&scenario, 10, 2, 3);
-    group.bench_function("MvAGC", |b| b.iter(|| mvagc.recommend_step(&ctx, 10)));
+    group.bench_function("MvAGC", |b| b.iter(|| mvagc.recommend_step(&view)));
 
     let mut grafrank =
         GraFrankRecommender::fit(&scenario, GraFrankConfig { iterations: 30, ..Default::default() });
-    group.bench_function("GraFrank", |b| b.iter(|| grafrank.recommend_step(&ctx, 10)));
+    group.bench_function("GraFrank", |b| b.iter(|| grafrank.recommend_step(&view)));
 
     let mut dcrnn = RnnRecommender::new(RnnKind::Dcrnn, RnnConfig::default());
-    dcrnn.begin_episode(&ctx);
-    group.bench_function("DCRNN", |b| b.iter(|| dcrnn.recommend_step(&ctx, 10)));
+    dcrnn.begin_episode(&start);
+    group.bench_function("DCRNN", |b| b.iter(|| dcrnn.recommend_step(&view)));
 
     let mut tgcn = RnnRecommender::new(RnnKind::Tgcn, RnnConfig::default());
-    tgcn.begin_episode(&ctx);
-    group.bench_function("TGCN", |b| b.iter(|| tgcn.recommend_step(&ctx, 10)));
+    tgcn.begin_episode(&start);
+    group.bench_function("TGCN", |b| b.iter(|| tgcn.recommend_step(&view)));
 
     group.sample_size(10);
     let mut comur = ComurNetRecommender::new(ComurNetConfig::default());
-    comur.begin_episode(&ctx);
-    group.bench_function("COMURNet", |b| b.iter(|| comur.recommend_step(&ctx, 10)));
+    comur.begin_episode(&start);
+    group.bench_function("COMURNet", |b| b.iter(|| comur.recommend_step(&view)));
 
     group.finish();
 }
@@ -62,9 +64,9 @@ fn bench_poshgnn_scaling(c: &mut Criterion) {
     for n in [50usize, 100, 200] {
         let (_, ctx) = scene(n);
         let mut posh = PoshGnn::new(PoshGnnConfig::default());
-        posh.begin_episode(&ctx);
+        posh.begin_episode(&StepView::new(&ctx, 0));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| posh.recommend_step(&ctx, 10))
+            b.iter(|| posh.recommend_step(&StepView::new(&ctx, 10)))
         });
     }
     group.finish();

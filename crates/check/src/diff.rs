@@ -596,13 +596,13 @@ impl DiffSubject for SparseVsDensePoshGnn {
 
     fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
         use poshgnn::recommender::threshold_decision;
-        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig};
+        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig, StepView};
 
         let ctx = posh_context(case);
         let mut sparse = PoshGnn::new(PoshGnnConfig::default());
         let mut dense = PoshGnn::new(PoshGnnConfig { dense_kernels: true, ..Default::default() });
-        sparse.begin_episode(&ctx);
-        dense.begin_episode(&ctx);
+        sparse.begin_episode(&StepView::new(&ctx, 0));
+        dense.begin_episode(&StepView::new(&ctx, 0));
         for t in 0..=ctx.t_max() {
             let rs = sparse.soft_recommend(&ctx, t);
             let rd = dense.soft_recommend(&ctx, t);
@@ -774,6 +774,96 @@ impl DiffSubject for PooledVsFreshTape {
                 if let Some(mut d) = first_bit_mismatch(&format!("pass {pass} grad #{i}"), a, b) {
                     d.step = pass;
                     return Some(d);
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &PoshCase) -> Vec<PoshCase> {
+        shrink_posh_case(case)
+    }
+
+    fn describe(&self, case: &PoshCase) -> String {
+        describe_posh_case(case)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session pair: streaming scene engine vs. legacy precompute (bit-identical).
+// ---------------------------------------------------------------------------
+
+/// The same episode context built twice: once through the streaming
+/// [`xr_session::SceneEngine`] (`AFTER_STREAMING=1`, the default — shared
+/// per-tick scene state, sweep-built occlusion graphs) and once through the
+/// legacy per-target precompute (`AFTER_STREAMING=0`). Every stored field —
+/// occlusion graphs including adjacency order, distance rows, candidate
+/// masks — must match bit for bit, and so must the decision stream of an
+/// identically seeded untrained POSHGNN driven over both contexts.
+pub struct StreamingVsPrecomputed;
+
+impl DiffSubject for StreamingVsPrecomputed {
+    type Case = PoshCase;
+
+    fn pair(&self) -> String {
+        "session: streaming engine vs precomputed contexts".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> PoshCase {
+        generate_posh_case(rng)
+    }
+
+    fn compare(&self, case: &PoshCase) -> Option<StepDivergence> {
+        use poshgnn::{AfterRecommender, PoshGnn, PoshGnnConfig, StepView};
+
+        let streaming = crate::golden::with_streaming(true, || posh_context(case));
+        let legacy = crate::golden::with_streaming(false, || posh_context(case));
+
+        for t in 0..=legacy.t_max() {
+            if streaming.occlusion[t] != legacy.occlusion[t] {
+                return Some(StepDivergence {
+                    step: t,
+                    detail: format!(
+                        "occlusion graph at t={t}: streaming {:?} vs legacy {:?}",
+                        streaming.occlusion[t], legacy.occlusion[t]
+                    ),
+                });
+            }
+            for w in 0..legacy.n {
+                let (s, l) = (streaming.distances[t][w], legacy.distances[t][w]);
+                if s.to_bits() != l.to_bits() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!("distance[{w}] at t={t}: streaming {s:?} vs legacy {l:?}"),
+                    });
+                }
+            }
+            if streaming.candidate_mask[t] != legacy.candidate_mask[t] {
+                return Some(StepDivergence {
+                    step: t,
+                    detail: format!(
+                        "candidate mask at t={t}: streaming {:?} vs legacy {:?}",
+                        streaming.candidate_mask[t], legacy.candidate_mask[t]
+                    ),
+                });
+            }
+        }
+
+        // end-to-end: an identically seeded model must emit the same soft
+        // stream over both contexts
+        let mut ms = PoshGnn::new(PoshGnnConfig::default());
+        let mut ml = PoshGnn::new(PoshGnnConfig::default());
+        ms.begin_episode(&StepView::new(&streaming, 0));
+        ml.begin_episode(&StepView::new(&legacy, 0));
+        for t in 0..=legacy.t_max() {
+            let rs = ms.soft_recommend(&streaming, t);
+            let rl = ml.soft_recommend(&legacy, t);
+            for (w, (s, l)) in rs.iter().zip(&rl).enumerate() {
+                if s.to_bits() != l.to_bits() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!("r_{t}[{w}]: streaming {s:?} vs legacy {l:?}"),
+                    });
                 }
             }
         }

@@ -4,7 +4,7 @@
 
 use xr_check::diff::{
     assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, OrcaGridVsBrute, PooledVsFreshTape,
-    SerialVsParallelRunner, SparseVsDensePoshGnn, SpmmVsDense,
+    SerialVsParallelRunner, SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -38,6 +38,11 @@ fn cached_mia_episode_loss_matches_fresh_bitwise() {
 #[test]
 fn pooled_tape_gradients_match_fresh_bitwise() {
     assert_no_divergence(&PooledVsFreshTape, KERNEL_CASES);
+}
+
+#[test]
+fn streaming_scene_engine_matches_precomputed_contexts_bitwise() {
+    assert_no_divergence(&StreamingVsPrecomputed, KERNEL_CASES);
 }
 
 #[test]

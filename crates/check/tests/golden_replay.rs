@@ -2,7 +2,7 @@
 //! recommend → evaluate) snapshotted byte-for-byte against a checked-in
 //! golden file. Regenerate with `UPDATE_GOLDEN=1 cargo test -p xr_check`.
 
-use xr_check::golden::{assert_matches_golden, replay, with_threads, ReplayConfig};
+use xr_check::golden::{assert_matches_golden, replay, with_streaming, with_threads, ReplayConfig};
 
 #[test]
 fn small_replay_matches_the_checked_in_golden_file() {
@@ -15,4 +15,13 @@ fn replay_is_byte_identical_across_thread_counts() {
     let serial = with_threads(1, || replay(&ReplayConfig::small()));
     let parallel = with_threads(8, || replay(&ReplayConfig::small()));
     assert_eq!(serial, parallel, "replay diverges between AFTER_THREADS=1 and AFTER_THREADS=8");
+}
+
+#[test]
+fn replay_is_byte_identical_across_streaming_modes() {
+    // The golden file is recorded under the default (streaming) context
+    // builder; the legacy per-target precompute must reproduce it exactly.
+    let streaming = with_streaming(true, || replay(&ReplayConfig::small()));
+    let legacy = with_streaming(false, || replay(&ReplayConfig::small()));
+    assert_eq!(streaming, legacy, "replay diverges between AFTER_STREAMING=1 and AFTER_STREAMING=0");
 }

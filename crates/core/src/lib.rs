@@ -8,6 +8,8 @@
 //!   conferencing scenario (occlusion graphs, distances, candidate masks,
 //!   utility rows).
 //! * [`metrics`] — the AFTER utility (Defs. 2–3) and evaluation metrics.
+//! * [`view`] — [`StepView`]: the no-lookahead causal window (ticks
+//!   `0..=t`) recommenders receive at each step.
 //! * [`recommender`] — the [`AfterRecommender`] trait (Def. 1) every method
 //!   (POSHGNN and all baselines) implements.
 //! * [`mia`] / [`loss`] / [`model`] — the three POSHGNN submodules: MIA
@@ -20,6 +22,7 @@ pub mod mia;
 pub mod model;
 pub mod problem;
 pub mod recommender;
+pub mod view;
 
 pub use loss::{poshgnn_loss, LossParams};
 pub use metrics::{evaluate_sequence, UtilityBreakdown};
@@ -27,3 +30,4 @@ pub use mia::{dense_adjacency, Mia, MiaOutput};
 pub use model::{PoshGnn, PoshGnnConfig, PoshVariant};
 pub use problem::TargetContext;
 pub use recommender::{mask_from_indices, threshold_decision, top_k_indices, AfterRecommender};
+pub use view::StepView;

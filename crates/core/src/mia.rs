@@ -189,6 +189,20 @@ impl Mia {
         (0..=ctx.t_max()).map(|t| Rc::new(self.compute(ctx, t))).collect()
     }
 
+    /// Runs MIA at a step view's tick. MIA's `Δ_t` difference embeddings
+    /// only consult ticks `t` and `t-1`, so the causal window is all it
+    /// needs — this is the entry point for stepwise (no-lookahead)
+    /// recommenders.
+    pub fn compute_view(&self, view: &crate::view::StepView<'_>) -> MiaOutput {
+        self.compute(view.ctx(), view.t())
+    }
+
+    /// [`Mia::raw_features`] at a step view's tick — the stepwise entry
+    /// point for the "Only PDR" ablation and the RNN baselines.
+    pub fn raw_features_view(&self, view: &crate::view::StepView<'_>) -> Matrix {
+        self.raw_features(view.ctx(), view.t())
+    }
+
     /// Raw (un-normalized, un-masked) features for the "Only PDR" ablation:
     /// plain `p`, `s`, absolute distance, interface.
     pub fn raw_features(&self, ctx: &TargetContext, t: usize) -> Matrix {

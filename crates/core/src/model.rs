@@ -25,6 +25,7 @@ use crate::loss::{poshgnn_loss, LossParams};
 use crate::mia::{Mia, MiaOutput};
 use crate::problem::TargetContext;
 use crate::recommender::{threshold_decision, AfterRecommender};
+use crate::view::StepView;
 
 /// Ablation variants of POSHGNN (paper Table V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +124,10 @@ pub struct PoshGnn {
     /// Inference state: (`h_{t-1}`, `r_{t-1}`), shared into each step's tape
     /// via `constant_rc` instead of cloned.
     episode_state: Option<(Rc<Matrix>, Rc<Matrix>)>,
-    /// Per-episode MIA slab for inference, set by `begin_episode`.
-    episode_mia: Option<Vec<Rc<MiaOutput>>>,
+    /// Per-episode MIA cache for inference, armed (empty) by
+    /// `begin_episode` and grown lazily as steps are served — never ahead
+    /// of the tick being recommended, so inference stays causal.
+    episode_mia: Option<Vec<Option<Rc<MiaOutput>>>>,
     /// Arena tape reset (not reallocated) at every inference step.
     infer_tape: Tape,
 }
@@ -364,17 +367,23 @@ impl PoshGnn {
             Some((h, r)) => (tape.constant_rc(h), tape.constant_rc(r)),
             None => (tape.constant_zeros(ctx.n, self.config.hidden), tape.constant_zeros(ctx.n, 1)),
         };
-        // Use the slab prepared by `begin_episode` when it covers `t`; fall
-        // back to a fresh compute for direct calls outside an episode.
-        let mia_owned;
-        let mia_out: &MiaOutput = match self.episode_mia.as_ref().and_then(|s| s.get(t)) {
-            Some(cached) => cached,
-            None => {
-                mia_owned = self.mia.compute(ctx, t);
-                &mia_owned
+        // Serve `t` from the episode cache, computing the entry on first
+        // use (the cache is armed empty by `begin_episode` — growing it
+        // lazily keeps inference causal). Fresh-MIA mode and direct calls
+        // outside an episode compute without caching.
+        let mia_out: Rc<MiaOutput> = match &mut self.episode_mia {
+            Some(cache) => {
+                if cache.len() <= t {
+                    cache.resize(t + 1, None);
+                }
+                if cache[t].is_none() {
+                    cache[t] = Some(Rc::new(self.mia.compute(ctx, t)));
+                }
+                Rc::clone(cache[t].as_ref().unwrap())
             }
+            None => Rc::new(self.mia.compute(ctx, t)),
         };
-        let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, mia_out, h_prev, r_prev);
+        let (r_t, h_t) = self.step_dispatch(&tape, ctx, t, &mia_out, h_prev, r_prev);
         let r = Rc::new(r_t.value());
         let out = r.as_slice().to_vec();
         self.episode_state = Some((Rc::new(h_t.value()), r));
@@ -414,14 +423,16 @@ impl AfterRecommender for PoshGnn {
         }
     }
 
-    fn begin_episode(&mut self, ctx: &TargetContext) {
+    fn begin_episode(&mut self, _view: &StepView<'_>) {
         self.episode_state = None;
-        self.episode_mia = (!self.config.fresh_mia).then(|| self.mia.compute_episode(ctx));
+        // arm the cache empty: entries appear as ticks are served, so the
+        // model never computes MIA ahead of the step it is recommending
+        self.episode_mia = (!self.config.fresh_mia).then(Vec::new);
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-        let soft = self.soft_recommend(ctx, t);
-        threshold_decision(&soft, ctx.target, self.config.threshold)
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        let soft = self.soft_recommend(view.ctx(), view.t());
+        threshold_decision(&soft, view.target(), self.config.threshold)
     }
 }
 
@@ -460,7 +471,7 @@ mod tests {
     fn untrained_model_emits_valid_probabilities() {
         let ctx = small_ctx(3);
         let mut model = PoshGnn::new(PoshGnnConfig::default());
-        model.begin_episode(&ctx);
+        model.begin_episode(&StepView::new(&ctx, 0));
         let soft = model.soft_recommend(&ctx, 0);
         assert_eq!(soft.len(), ctx.n);
         assert!(soft.iter().all(|&p| (0.0..=1.0).contains(&p)));
@@ -524,7 +535,7 @@ mod tests {
         // With the Full variant, masked-out users can never be recommended.
         let ctx = small_ctx(9);
         let mut full = PoshGnn::new(PoshGnnConfig::default());
-        full.begin_episode(&ctx);
+        full.begin_episode(&StepView::new(&ctx, 0));
         let soft = full.soft_recommend(&ctx, 0);
         #[allow(clippy::needless_range_loop)] // w is a user id, not a position
         for w in 0..ctx.n {

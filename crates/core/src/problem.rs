@@ -1,13 +1,22 @@
 //! The AFTER problem seen from one target user.
 //!
-//! [`TargetContext`] precomputes everything a recommender may consult at each
-//! time step `t`: the static occlusion graph `O_t^v`, distances to every
-//! other participant, the hybrid-participation candidate mask `m_t`, and the
+//! [`TargetContext`] holds everything a recommender may consult at each time
+//! step `t`: the static occlusion graph `O_t^v`, distances to every other
+//! participant, the hybrid-participation candidate mask `m_t`, and the
 //! target's utility rows `p(v,·)` / `s(v,·)`.
+//!
+//! Since the streaming refactor, `TargetContext` is a thin *compat wrapper*
+//! over the [`xr_session::SceneEngine`]: by default construction pumps the
+//! scenario's frames through the engine once and copies out this target's
+//! slice of the shared per-tick state. The field layout and every numeric
+//! value are byte-identical to the legacy per-target precompute, which is
+//! still available behind `AFTER_STREAMING=0` and pinned against the engine
+//! path by an `xr_check` differential subject.
 
 use xr_datasets::{Interface, Scenario};
 use xr_graph::geom::Point2;
 use xr_graph::{OcclusionConverter, UGraph};
+use xr_session::SceneEngine;
 
 /// Everything an AFTER recommender may consult for one target user.
 #[derive(Debug, Clone)]
@@ -67,6 +76,124 @@ impl TargetContext {
         assert!(target < scenario.n(), "target {target} out of range");
         assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
         let n = scenario.n();
+        assert!(blocked.iter().all(|&b| b < n), "blocklist entry out of range");
+
+        if xr_session::streaming_enabled() {
+            let mut engine = SceneEngine::for_scenario(scenario, &[target]);
+            engine.push_scenario(scenario);
+            let mut built = Self::from_engine(scenario, engine, &[(target, beta)], blocked);
+            built.pop().expect("one request yields one context")
+        } else {
+            Self::precomputed(scenario, target, beta, blocked)
+        }
+    }
+
+    /// Builds the contexts of several `(target, beta)` requests over one
+    /// scenario through a *single* shared [`SceneEngine`] pass: the distance
+    /// matrix and each requested viewer's occlusion structure are maintained
+    /// once per tick for the whole scene, instead of once per target.
+    ///
+    /// Numerically identical to mapping [`TargetContext::new`] over the
+    /// requests; under `AFTER_STREAMING=0` it literally is that map.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a target is out of range or a beta `∉ [0,1]`.
+    pub fn batch(scenario: &Scenario, requests: &[(usize, f64)]) -> Vec<Self> {
+        for &(target, beta) in requests {
+            assert!(target < scenario.n(), "target {target} out of range");
+            assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        }
+        if !xr_session::streaming_enabled() {
+            return requests
+                .iter()
+                .map(|&(target, beta)| Self::precomputed(scenario, target, beta, &[]))
+                .collect();
+        }
+        let viewers: Vec<usize> = requests.iter().map(|&(target, _)| target).collect();
+        let mut engine = SceneEngine::for_scenario(scenario, &viewers);
+        engine.push_scenario(scenario);
+        Self::from_engine(scenario, engine, requests, &[])
+    }
+
+    /// Distributes an ingested engine's shared per-tick state into compat
+    /// contexts, one per request. The heavy per-viewer structures (occlusion
+    /// graphs, candidate masks) are *moved* out of the engine — each slot's
+    /// last requester takes ownership, earlier duplicates clone — so the
+    /// shared pass allocates each graph exactly once.
+    fn from_engine(
+        scenario: &Scenario,
+        engine: SceneEngine,
+        requests: &[(usize, f64)],
+        blocked: &[usize],
+    ) -> Vec<Self> {
+        let n = scenario.n();
+        let frames = engine.ticks();
+        let mr_mask = engine.config().mr_mask.clone();
+        let converter = *engine.converter();
+        let room_diagonal = engine.config().room_diagonal;
+        let slots: Vec<usize> = requests
+            .iter()
+            .map(|&(target, _)| engine.slot_of(target).expect("request registered at construction"))
+            .collect();
+        let mut slot_uses = vec![0usize; engine.viewers().len()];
+        for &s in &slots {
+            slot_uses[s] += 1;
+        }
+
+        let mut contexts: Vec<TargetContext> = requests
+            .iter()
+            .map(|&(target, beta)| TargetContext {
+                target,
+                n,
+                beta,
+                target_is_mr: scenario.interfaces[target] == Interface::Mr,
+                occlusion: Vec::with_capacity(frames),
+                distances: Vec::with_capacity(frames),
+                candidate_mask: Vec::with_capacity(frames),
+                preference: scenario.preference[target].clone(),
+                social: scenario.social[target].clone(),
+                mr_mask: mr_mask.clone(),
+                positions: scenario.trajectories.clone(),
+                converter,
+                room_diagonal,
+            })
+            .collect();
+
+        for state in engine.into_states() {
+            let (_positions, dist_flat, occlusion, masks) = state.into_parts();
+            let mut occlusion: Vec<Option<UGraph>> = occlusion.into_iter().map(Some).collect();
+            let mut masks: Vec<Option<Vec<bool>>> = masks.into_iter().map(Some).collect();
+            let mut remaining = slot_uses.clone();
+            for (ctx, &slot) in contexts.iter_mut().zip(&slots) {
+                remaining[slot] -= 1;
+                let last_user = remaining[slot] == 0;
+                let graph = if last_user {
+                    occlusion[slot].take().expect("slot state consumed once")
+                } else {
+                    occlusion[slot].as_ref().expect("slot state present").clone()
+                };
+                let mut mask = if last_user {
+                    masks[slot].take().expect("slot state consumed once")
+                } else {
+                    masks[slot].as_ref().expect("slot state present").clone()
+                };
+                for &b in blocked {
+                    mask[b] = false;
+                }
+                ctx.occlusion.push(graph);
+                ctx.distances.push(dist_flat[ctx.target * n..(ctx.target + 1) * n].to_vec());
+                ctx.candidate_mask.push(mask);
+            }
+        }
+        contexts
+    }
+
+    /// The legacy per-target precompute path (`AFTER_STREAMING=0`): redoes
+    /// the full O(N²) pairwise visibility work for this one target at every
+    /// tick. Kept as the differential oracle for the engine path.
+    fn precomputed(scenario: &Scenario, target: usize, beta: f64, blocked: &[usize]) -> Self {
+        let n = scenario.n();
         let converter = OcclusionConverter::new(scenario.body_radius);
         let mr_mask = scenario.mr_mask();
         let target_is_mr = scenario.interfaces[target] == Interface::Mr;
@@ -76,7 +203,6 @@ impl TargetContext {
         let mut distances = Vec::with_capacity(frames);
         let mut candidate_mask = Vec::with_capacity(frames);
 
-        assert!(blocked.iter().all(|&b| b < n), "blocklist entry out of range");
         for positions in &scenario.trajectories {
             occlusion.push(converter.static_graph(target, positions));
             distances.push((0..n).map(|w| positions[target].distance(positions[w])).collect::<Vec<f64>>());
@@ -179,13 +305,13 @@ fn physical_candidate_mask(
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use xr_crowd::Room;
 
     /// Hand-built 4-user scenario: target 0 (MR) at origin; 1 = MR blocker
     /// east; 2 = VR behind the blocker; 3 = VR north, clear.
-    fn scenario(target_mr: bool) -> Scenario {
+    pub(crate) fn scenario(target_mr: bool) -> Scenario {
         let positions =
             vec![Point2::new(5.0, 5.0), Point2::new(6.0, 5.0), Point2::new(7.0, 5.02), Point2::new(5.0, 8.0)];
         let interfaces = vec![
@@ -275,6 +401,29 @@ mod tests {
         }
         // other users unaffected
         assert!(ctx.candidate_mask[0][1]);
+    }
+
+    #[test]
+    fn batch_matches_individual_construction_bitwise() {
+        // one shared engine pass per scenario vs one engine per target:
+        // identical contexts either way
+        let scenario = scenario(true);
+        let requests = [(0usize, 0.5f64), (1, 0.3), (3, 0.7)];
+        let batched = TargetContext::batch(&scenario, &requests);
+        for (ctx, &(target, beta)) in batched.iter().zip(&requests) {
+            let single = TargetContext::new(&scenario, target, beta);
+            assert_eq!(ctx.target, single.target);
+            assert_eq!(ctx.occlusion, single.occlusion);
+            assert_eq!(ctx.candidate_mask, single.candidate_mask);
+            for (a, b) in ctx.distances.iter().flatten().zip(single.distances.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_nothing_is_empty() {
+        assert!(TargetContext::batch(&scenario(false), &[]).is_empty());
     }
 
     #[test]

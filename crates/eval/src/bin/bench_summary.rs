@@ -294,6 +294,42 @@ fn bench_matmul_dispatch() -> Json {
         .set("sizes", Json::from(rows))
 }
 
+fn bench_scene_build() -> Json {
+    // Context construction for every participant in the room: the shared
+    // scene engine builds distances / occlusion / masks once per tick and
+    // serves all targets from that state (O(N²·T)), while the legacy path
+    // recomputes them per target (O(N³·T)).
+    let dataset = Dataset::generate(DatasetKind::Timik, 6);
+    let sizes = [100usize, 200];
+    let rows: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            let scenario_cfg =
+                ScenarioConfig { n_participants: n, time_steps: 20, seed: 21, ..ScenarioConfig::default() };
+            let scenario = dataset.sample_scenario(&scenario_cfg);
+            let requests: Vec<(usize, f64)> = (0..n).map(|v| (v, 0.5)).collect();
+            let run = |streaming: bool| {
+                std::env::set_var("AFTER_STREAMING", if streaming { "1" } else { "0" });
+                let ms = time_ms(3, || {
+                    std::hint::black_box(poshgnn::TargetContext::batch(&scenario, &requests));
+                });
+                std::env::remove_var("AFTER_STREAMING");
+                ms
+            };
+            let precompute = run(false);
+            let engine = run(true);
+            Json::obj()
+                .set("n", n)
+                .set("time_steps", 20u64)
+                .set("targets", n as u64)
+                .set("precompute_ms", num3(precompute))
+                .set("engine_ms", num3(engine))
+                .set("speedup", num3(precompute / engine))
+        })
+        .collect();
+    Json::from(rows)
+}
+
 fn bench_parallel_runner() -> Json {
     let dataset = Dataset::generate(DatasetKind::Hubs, 1);
     let cfg = ComparisonConfig {
@@ -325,22 +361,24 @@ fn bench_parallel_runner() -> Json {
 
 fn main() {
     let mut obs = xr_obs::init_cli_env();
-    eprintln!("[1/8] blocked vs naive matmul");
+    eprintln!("[1/9] blocked vs naive matmul");
     let matmul = bench_matmul();
-    eprintln!("[2/8] sparse vs dense aggregation (SpMM)");
+    eprintln!("[2/9] sparse vs dense aggregation (SpMM)");
     let spmm = bench_spmm();
-    eprintln!("[3/8] grid vs brute-force crowd neighbors");
+    eprintln!("[3/9] grid vs brute-force crowd neighbors");
     let crowd = bench_crowd();
-    eprintln!("[4/8] POSHGNN recommend step, sparse vs dense kernels");
+    eprintln!("[4/9] POSHGNN recommend step, sparse vs dense kernels");
     let posh = bench_poshgnn_step();
-    eprintln!("[5/8] comparison runner, 1 thread vs all cores");
+    eprintln!("[5/9] comparison runner, 1 thread vs all cores");
     let runner = bench_parallel_runner();
-    eprintln!("[6/8] train epoch, MIA cache + tape arena vs uncached");
+    eprintln!("[6/9] train epoch, MIA cache + tape arena vs uncached");
     let train_epoch = bench_train_epoch();
-    eprintln!("[7/8] tape arena reuse vs fresh tape per episode");
+    eprintln!("[7/9] tape arena reuse vs fresh tape per episode");
     let tape_reuse = bench_tape_reuse();
-    eprintln!("[8/8] adaptive matmul dispatch crossover");
+    eprintln!("[8/9] adaptive matmul dispatch crossover");
     let dispatch = bench_matmul_dispatch();
+    eprintln!("[9/9] scene build, shared engine vs per-target precompute");
+    let scene_build = bench_scene_build();
 
     let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
     let write = |name: &str, json: &Json| {
@@ -366,5 +404,8 @@ fn main() {
         .set("tape_reuse", tape_reuse)
         .set("matmul_dispatch", dispatch);
     write("BENCH_pr4.json", &pr4);
+
+    let pr5 = Json::obj().set("scene_build", scene_build);
+    write("BENCH_pr5.json", &pr5);
     obs.finish();
 }

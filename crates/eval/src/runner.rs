@@ -5,7 +5,9 @@
 use std::time::Instant;
 
 use poshgnn::recommender::AfterRecommender;
-use poshgnn::{evaluate_sequence, PoshGnn, PoshGnnConfig, PoshVariant, TargetContext, UtilityBreakdown};
+use poshgnn::{
+    evaluate_sequence, PoshGnn, PoshGnnConfig, PoshVariant, StepView, TargetContext, UtilityBreakdown,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -26,10 +28,10 @@ impl AfterRecommender for RenderAllRecommender {
         "Original".to_string()
     }
 
-    fn begin_episode(&mut self, _ctx: &TargetContext) {}
+    fn begin_episode(&mut self, _view: &StepView<'_>) {}
 
-    fn recommend_step(&mut self, ctx: &TargetContext, _t: usize) -> Vec<bool> {
-        (0..ctx.n).map(|w| w != ctx.target).collect()
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        (0..view.n()).map(|w| w != view.target()).collect()
     }
 }
 
@@ -53,12 +55,12 @@ impl<R: AfterRecommender> AfterRecommender for DelayedRecommender<R> {
         format!("{} (lag {})", self.inner.name(), self.latency)
     }
 
-    fn begin_episode(&mut self, ctx: &TargetContext) {
-        self.inner.begin_episode(ctx);
+    fn begin_episode(&mut self, view: &StepView<'_>) {
+        self.inner.begin_episode(view);
     }
 
-    fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-        self.inner.recommend_step(ctx, t)
+    fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+        self.inner.recommend_step(view)
     }
 
     fn latency_steps(&self) -> usize {
@@ -94,11 +96,14 @@ pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) ->
     let mut total_steps = 0usize;
     let latency = rec.latency_steps();
     for ctx in contexts {
-        rec.begin_episode(ctx);
+        // the driver owns the full context; the method only ever sees the
+        // causal per-tick views
+        rec.begin_episode(&StepView::new(ctx, 0));
         let mut computed = Vec::with_capacity(ctx.t_max() + 1);
         for t in 0..=ctx.t_max() {
+            let view = StepView::new(ctx, t);
             let start = Instant::now();
-            let decision = rec.recommend_step(ctx, t);
+            let decision = rec.recommend_step(&view);
             total_ms += start.elapsed().as_secs_f64() * 1e3;
             total_steps += 1;
             computed.push(decision);
@@ -177,9 +182,13 @@ pub fn pick_targets(scenario: &Scenario, n_targets: usize, seed: u64) -> Vec<usi
     idx
 }
 
-/// Builds target contexts for a scenario.
+/// Builds target contexts for a scenario through one shared
+/// [`xr_session::SceneEngine`] pass: the scene (distances, occlusion,
+/// candidate masks) is maintained once per tick for all targets instead of
+/// once per target.
 pub fn build_contexts(scenario: &Scenario, targets: &[usize], beta: f64) -> Vec<TargetContext> {
-    targets.iter().map(|&t| TargetContext::new(scenario, t, beta)).collect()
+    let requests: Vec<(usize, f64)> = targets.iter().map(|&t| (t, beta)).collect();
+    TargetContext::batch(scenario, &requests)
 }
 
 /// The test/train scenarios and target contexts shared by every method cell
@@ -503,7 +512,7 @@ mod tests {
         let scenario = dataset.sample_scenario(&tiny_cfg(6).scenario);
         let ctx = TargetContext::new(&scenario, 0, 0.5);
         let mut rec = RenderAllRecommender;
-        let d = rec.recommend_step(&ctx, 0);
+        let d = rec.recommend_step(&StepView::new(&ctx, 0));
         assert_eq!(d.iter().filter(|&&b| b).count(), scenario.n() - 1);
     }
 

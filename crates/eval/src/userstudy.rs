@@ -137,10 +137,12 @@ pub fn run_user_study(config: &UserStudyConfig) -> UserStudyResult {
     let train_scenario =
         dataset.sample_scenario(&ScenarioConfig { seed: config.seed ^ 0x5EED, ..scenario_cfg });
 
-    // Questionnaire-derived β per participant.
-    let betas: Vec<f64> = (0..config.participants).map(|_| rng.gen_range(0.3..0.7)).collect();
-    let contexts: Vec<TargetContext> =
-        (0..config.participants).map(|i| TargetContext::new(&scenario, i, betas[i])).collect();
+    // Questionnaire-derived β per participant. Every participant is a
+    // target in the same room, so the contexts are built through one shared
+    // scene-engine pass instead of N independent precomputes.
+    let requests: Vec<(usize, f64)> =
+        (0..config.participants).map(|i| (i, rng.gen_range(0.3..0.7))).collect();
+    let contexts: Vec<TargetContext> = TargetContext::batch(&scenario, &requests);
 
     // Train POSHGNN once on the training room.
     let train_targets: Vec<usize> = (0..4).collect();

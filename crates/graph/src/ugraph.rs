@@ -31,6 +31,33 @@ impl UGraph {
         g
     }
 
+    /// Builds a graph from edges already in strictly ascending `(min, max)`
+    /// order with no duplicates or self-loops — the form a sorted+deduped
+    /// edge scan produces. Equal to calling [`UGraph::add_edge`] per pair
+    /// (adjacency lists come out in the identical order), but allocates each
+    /// adjacency list at its exact final size and bulk-builds the edge set
+    /// instead of paying one B-tree insert per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions only) when the input is not strictly sorted
+    /// `(min, max)` pairs in range.
+    pub fn from_sorted_unique_edges(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        debug_assert!(edges.iter().all(|&(a, b)| a < b && b < n), "edges must be in-range (min, max) pairs");
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be strictly ascending");
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &edges {
+            deg[a] += 1;
+            deg[b] += 1;
+        }
+        let mut adj: Vec<Vec<usize>> = deg.into_iter().map(Vec::with_capacity).collect();
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        UGraph { n, edges: edges.into_iter().collect(), adj }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.n

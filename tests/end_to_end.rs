@@ -2,7 +2,7 @@
 //! context → training → recommendation → evaluation, across crates.
 
 use after_xr::poshgnn::recommender::AfterRecommender;
-use after_xr::poshgnn::{evaluate_sequence, PoshGnn, PoshGnnConfig, TargetContext};
+use after_xr::poshgnn::{evaluate_sequence, PoshGnn, PoshGnnConfig, StepView, TargetContext};
 use after_xr::xr_baselines::{NearestRecommender, RandomRecommender};
 use after_xr::xr_datasets::{Dataset, DatasetKind, ScenarioConfig};
 use after_xr::xr_eval::{build_contexts, pick_targets, run_method};
@@ -72,11 +72,11 @@ fn latency_penalty_hurts_delivered_utility() {
         fn name(&self) -> String {
             format!("{}+lag", self.0.name())
         }
-        fn begin_episode(&mut self, ctx: &TargetContext) {
-            self.0.begin_episode(ctx);
+        fn begin_episode(&mut self, view: &StepView<'_>) {
+            self.0.begin_episode(view);
         }
-        fn recommend_step(&mut self, ctx: &TargetContext, t: usize) -> Vec<bool> {
-            self.0.recommend_step(ctx, t)
+        fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
+            self.0.recommend_step(view)
         }
         fn latency_steps(&self) -> usize {
             self.1

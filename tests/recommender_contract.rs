@@ -3,7 +3,7 @@
 //! recommending the target, and clean episode resets.
 
 use after_xr::poshgnn::recommender::AfterRecommender;
-use after_xr::poshgnn::{PoshGnn, PoshGnnConfig, PoshVariant, TargetContext};
+use after_xr::poshgnn::{PoshGnn, PoshGnnConfig, PoshVariant, StepView, TargetContext};
 use after_xr::xr_baselines::{
     ComurNetConfig, ComurNetRecommender, GraFrankConfig, GraFrankRecommender, MvAgcRecommender, MwisOracle,
     NearestRecommender, RandomRecommender, RnnConfig, RnnKind, RnnRecommender,
@@ -107,7 +107,7 @@ fn decisions_stay_inside_the_unit_hypercube() {
     let ctx = TargetContext::new(&scenario, 0, 0.5);
     for variant in [PoshVariant::Full, PoshVariant::PdrWithMia, PoshVariant::PdrOnly] {
         let mut model = PoshGnn::new(PoshGnnConfig { variant, ..Default::default() });
-        model.begin_episode(&ctx);
+        model.begin_episode(&StepView::new(&ctx, 0));
         for t in 0..=ctx.t_max() {
             let soft = model.soft_recommend(&ctx, t);
             assert_eq!(soft.len(), ctx.n, "{variant:?}: wrong score width at t={t}");
@@ -165,6 +165,51 @@ fn vr_targets_see_everyone_and_still_never_themselves() {
             assert!(!decision[vr], "{name}: recommended the VR target to herself at t={t}");
         }
     }
+}
+
+#[test]
+fn decisions_never_depend_on_future_frames() {
+    // The stepwise contract: a view at tick t exposes only ticks 0..=t, so
+    // rewriting the world strictly after t_cut must leave every decision at
+    // or before t_cut untouched — for every method in the workspace.
+    let original = scenario();
+    let t_cut = 3;
+    let mut perturbed = original.clone();
+    for (t, frame) in perturbed.trajectories.iter_mut().enumerate() {
+        if t > t_cut {
+            for p in frame.iter_mut() {
+                p.x = (p.x * 0.5 + 0.7).min(5.5);
+                p.y = (p.y * 0.3 + 1.1).min(5.5);
+            }
+        }
+    }
+    assert_ne!(original.trajectories, perturbed.trajectories, "perturbation was a no-op");
+
+    let ctx_a = TargetContext::new(&original, 0, 0.5);
+    let ctx_b = TargetContext::new(&perturbed, 0, 0.5);
+    // Both instance sets are fitted on the *original* scenario — offline
+    // training data is not the stepwise input under test here.
+    let twins = all_recommenders(&original).into_iter().zip(all_recommenders(&original));
+    for (mut a, mut b) in twins {
+        let name = a.name();
+        a.begin_episode(&StepView::new(&ctx_a, 0));
+        b.begin_episode(&StepView::new(&ctx_b, 0));
+        for t in 0..=t_cut {
+            let da = a.recommend_step(&StepView::new(&ctx_a, t));
+            let db = b.recommend_step(&StepView::new(&ctx_b, t));
+            assert_eq!(da, db, "{name}: decision at t={t} changed when frames after t={t_cut} moved");
+        }
+    }
+}
+
+#[test]
+fn views_refuse_to_serve_the_future() {
+    let scenario = scenario();
+    let ctx = TargetContext::new(&scenario, 0, 0.5);
+    let view = StepView::new(&ctx, 2);
+    assert_eq!(view.occlusion_at(2), view.occlusion());
+    let peek = std::panic::catch_unwind(|| view.occlusion_at(3));
+    assert!(peek.is_err(), "a view at t=2 handed out tick 3");
 }
 
 #[test]
