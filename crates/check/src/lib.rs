@@ -29,6 +29,7 @@
 pub mod diff;
 pub mod golden;
 pub mod gradcheck;
+pub mod metrics;
 
 use std::path::PathBuf;
 

@@ -4,7 +4,7 @@
 
 use xr_check::diff::{
     assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, OrcaGridVsBrute, PooledVsFreshTape,
-    SerialVsParallelRunner, SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
+    SerialVsParallelRunner, ServeF32VsF64, SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -50,4 +50,11 @@ fn poshgnn_sparse_and_dense_kernels_agree_on_whole_episodes() {
     // full pipeline per case (dataset → ORCA → MIA → model), so fewer cases
     // than the raw kernel pairs; still seeded and reproducible
     assert_no_divergence(&SparseVsDensePoshGnn::default(), 24);
+}
+
+#[test]
+fn f32_serving_path_tracks_f64_inference_behaviorally() {
+    // the serving split is a precision change, not a refactor: tolerance +
+    // top-k-overlap oracle at the full kernel-pair case count
+    assert_no_divergence(&ServeF32VsF64::default(), KERNEL_CASES);
 }

@@ -22,6 +22,7 @@ pub mod mia;
 pub mod model;
 pub mod problem;
 pub mod recommender;
+pub mod serve;
 pub mod view;
 
 pub use loss::{poshgnn_loss, LossParams};

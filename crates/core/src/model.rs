@@ -85,6 +85,13 @@ pub struct PoshGnnConfig {
     /// arena tape. Same bit-identical contract and purpose as `fresh_mia`.
     /// Defaults to the `AFTER_FRESH_TAPE=1` environment variable.
     pub fresh_tape: bool,
+    /// Serve inference on the f32 SIMD path ([`crate::serve`]): weights are
+    /// down-converted once, and each recommend step derives the scene, MIA,
+    /// and forward pass entirely in f32. Training is unaffected — it always
+    /// runs the f64 tape. The f32 stream is pinned against the f64 stream by
+    /// a tolerance + top-k-overlap differential subject in `xr_check`.
+    /// Defaults to the `AFTER_SERVE_F32=1` environment variable.
+    pub serve_f32: bool,
 }
 
 impl Default for PoshGnnConfig {
@@ -101,6 +108,7 @@ impl Default for PoshGnnConfig {
             dense_kernels: false,
             fresh_mia: std::env::var("AFTER_FRESH_MIA").map(|v| v == "1").unwrap_or(false),
             fresh_tape: std::env::var("AFTER_FRESH_TAPE").map(|v| v == "1").unwrap_or(false),
+            serve_f32: std::env::var("AFTER_SERVE_F32").map(|v| v == "1").unwrap_or(false),
         }
     }
 }
@@ -130,6 +138,13 @@ pub struct PoshGnn {
     episode_mia: Option<Vec<Option<Rc<MiaOutput>>>>,
     /// Arena tape reset (not reallocated) at every inference step.
     infer_tape: Tape,
+    /// Down-converted f32 weights for the serving path; built lazily on the
+    /// first f32 recommend step and invalidated whenever parameters change
+    /// (training, import, mutable access).
+    serve_net: Option<Rc<crate::serve::ServeNet>>,
+    /// Per-episode f32 serving state (recurrent `(h, r)`, previous occlusion
+    /// graph, episode-constant inputs); reset by `begin_episode`.
+    serve_episode: Option<crate::serve::ServeEpisode>,
 }
 
 impl PoshGnn {
@@ -164,6 +179,8 @@ impl PoshGnn {
             episode_state: None,
             episode_mia: None,
             infer_tape: Tape::new(),
+            serve_net: None,
+            serve_episode: None,
         }
     }
 
@@ -354,13 +371,18 @@ impl PoshGnn {
             xr_obs::gauge_set("poshgnn.train.loss", &[], mean_loss);
             history.push(mean_loss);
         }
+        self.serve_net = None; // weights changed: stale f32 down-conversion
         history
     }
 
     /// The soft recommendation `r_t` for one step during inference,
-    /// advancing the episode state.
+    /// advancing the episode state. Routes to the f32 serving path when
+    /// [`PoshGnnConfig::serve_f32`] is on; the f64 tape path otherwise.
     pub fn soft_recommend(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
         let _span = xr_obs::span!("poshgnn.recommend.step", t = t, n = ctx.n);
+        if self.config.serve_f32 {
+            return self.soft_recommend_f32(ctx, t);
+        }
         let tape = std::mem::take(&mut self.infer_tape);
         tape.reset();
         let (h_prev, r_prev) = match self.episode_state.take() {
@@ -391,6 +413,33 @@ impl PoshGnn {
         out
     }
 
+    /// The f32 serving step: lazily down-converts the weights, lazily
+    /// (re-)creates the per-episode f32 state, and runs the tape-free
+    /// [`crate::serve`] forward pass.
+    fn soft_recommend_f32(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
+        let net = match &self.serve_net {
+            Some(net) => Rc::clone(net),
+            None => {
+                let net = Rc::new(crate::serve::ServeNet::from_layers(
+                    &self.store,
+                    &self.pdr1,
+                    &self.pdr2,
+                    &self.lwp1,
+                    &self.lwp2,
+                    &self.lwp3,
+                    self.config.variant,
+                ));
+                self.serve_net = Some(Rc::clone(&net));
+                net
+            }
+        };
+        // direct calls outside an episode (or a context switch) start fresh
+        if self.serve_episode.as_ref().is_none_or(|e| e.n() != ctx.n) {
+            self.serve_episode = Some(crate::serve::ServeEpisode::new(ctx, self.config.hidden));
+        }
+        self.serve_episode.as_mut().expect("just ensured").step(&net, ctx, t)
+    }
+
     /// Read-only view of the parameter store: block names, values, and the
     /// gradients of the most recent backward pass.
     pub fn params(&self) -> &ParamStore {
@@ -401,6 +450,7 @@ impl PoshGnn {
     /// tooling (finite-difference perturbation in `xr_check`); training code
     /// should go through [`PoshGnn::train`].
     pub fn params_mut(&mut self) -> &mut ParamStore {
+        self.serve_net = None; // caller may mutate weights
         &mut self.store
     }
 
@@ -411,6 +461,7 @@ impl PoshGnn {
 
     /// Restores a snapshot from [`PoshGnn::export_params`].
     pub fn import_params(&mut self, flat: &[f64]) -> bool {
+        self.serve_net = None; // weights changed: stale f32 down-conversion
         self.store.import_flat(flat)
     }
 }
@@ -425,6 +476,7 @@ impl AfterRecommender for PoshGnn {
 
     fn begin_episode(&mut self, _view: &StepView<'_>) {
         self.episode_state = None;
+        self.serve_episode = None;
         // arm the cache empty: entries appear as ticks are served, so the
         // model never computes MIA ahead of the step it is recommending
         self.episode_mia = (!self.config.fresh_mia).then(Vec::new);
@@ -561,6 +613,53 @@ mod tests {
         let recs_dense = dense.run_episode(&eval_ctx);
 
         assert_eq!(recs_sparse, recs_dense);
+    }
+
+    #[test]
+    fn f32_serving_tracks_f64_within_tolerance() {
+        let train_ctx = small_ctx(13);
+        let eval_ctx = small_ctx(14);
+        let mut m64 = PoshGnn::new(PoshGnnConfig::default());
+        m64.train(std::slice::from_ref(&train_ctx), 10);
+        let snapshot = m64.export_params();
+        let mut m32 = PoshGnn::new(PoshGnnConfig { serve_f32: true, ..Default::default() });
+        assert!(m32.import_params(&snapshot));
+        m64.begin_episode(&StepView::new(&eval_ctx, 0));
+        m32.begin_episode(&StepView::new(&eval_ctx, 0));
+        for t in 0..=eval_ctx.t_max() {
+            let s64 = m64.soft_recommend(&eval_ctx, t);
+            let s32 = m32.soft_recommend(&eval_ctx, t);
+            assert_eq!(s64.len(), s32.len());
+            for (w, (a, b)) in s64.iter().zip(&s32).enumerate() {
+                assert!((a - b).abs() < 1e-3, "t={t} user {w}: f64 {a} vs f32 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_serving_masked_candidates_stay_zero() {
+        let ctx = small_ctx(9);
+        let mut model = PoshGnn::new(PoshGnnConfig { serve_f32: true, ..Default::default() });
+        model.begin_episode(&StepView::new(&ctx, 0));
+        let soft = model.soft_recommend(&ctx, 0);
+        #[allow(clippy::needless_range_loop)] // w is a user id, not a position
+        for w in 0..ctx.n {
+            if !ctx.candidate_mask[0][w] {
+                assert_eq!(soft[w], 0.0, "masked candidate leaked through the f32 path");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_serving_invalidates_on_weight_changes() {
+        let ctx = small_ctx(15);
+        let mut model = PoshGnn::new(PoshGnnConfig { serve_f32: true, ..Default::default() });
+        model.begin_episode(&StepView::new(&ctx, 0));
+        let before = model.soft_recommend(&ctx, 0);
+        model.train(std::slice::from_ref(&ctx), 15);
+        model.begin_episode(&StepView::new(&ctx, 0));
+        let after = model.soft_recommend(&ctx, 0);
+        assert_ne!(before, after, "serve net must be rebuilt from retrained weights");
     }
 
     #[test]

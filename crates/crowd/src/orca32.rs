@@ -1,0 +1,468 @@
+//! f32 serving port of the ORCA half-plane solver.
+//!
+//! Mirrors [`crate::orca`] branch for branch in single precision for the
+//! serve-time path, where trajectories feed inference (no gradients, no
+//! bit-exact replay requirement). The branchy incremental LP stays scalar —
+//! its control flow defeats lane parallelism — but the all-pairs
+//! neighborhood prefilter, the dominant O(n) data-parallel step per agent,
+//! gets a wide-lane SIMD kernel ([`dist_sq_batch_f32`]) with a bit-identical
+//! scalar reference, dispatched at runtime via
+//! [`xr_tensor::serve32::simd_enabled`] (and forced scalar under
+//! `AFTER_NO_SIMD=1`).
+
+/// 2-D point in f32 with just the vector ops the solver needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point2F32 {
+    pub x: f32,
+    pub y: f32,
+}
+
+impl Point2F32 {
+    /// A point from coordinates.
+    pub fn new(x: f32, y: f32) -> Self {
+        Point2F32 { x, y }
+    }
+
+    /// The origin.
+    pub fn zero() -> Self {
+        Point2F32 { x: 0.0, y: 0.0 }
+    }
+
+    /// Down-converts an f64 point.
+    pub fn from_f64(p: xr_graph::geom::Point2) -> Self {
+        Point2F32 { x: p.x as f32, y: p.y as f32 }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Point2F32) -> f32 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2-D cross product (z component).
+    pub fn cross(self, o: Point2F32) -> f32 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector; zero-length inputs (norm < 1e-6) return zero.
+    pub fn normalized(self) -> Point2F32 {
+        let n = self.norm();
+        if n < 1e-6 {
+            Point2F32::zero()
+        } else {
+            self / n
+        }
+    }
+}
+
+impl std::ops::Add for Point2F32 {
+    type Output = Point2F32;
+    fn add(self, o: Point2F32) -> Point2F32 {
+        Point2F32::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::ops::Sub for Point2F32 {
+    type Output = Point2F32;
+    fn sub(self, o: Point2F32) -> Point2F32 {
+        Point2F32::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Neg for Point2F32 {
+    type Output = Point2F32;
+    fn neg(self) -> Point2F32 {
+        Point2F32::new(-self.x, -self.y)
+    }
+}
+
+impl std::ops::Mul<f32> for Point2F32 {
+    type Output = Point2F32;
+    fn mul(self, s: f32) -> Point2F32 {
+        Point2F32::new(self.x * s, self.y * s)
+    }
+}
+
+impl std::ops::Div<f32> for Point2F32 {
+    type Output = Point2F32;
+    fn div(self, s: f32) -> Point2F32 {
+        Point2F32::new(self.x / s, self.y / s)
+    }
+}
+
+/// f32 directed line: permitted half-plane is to the left of
+/// `point + t · direction`.
+#[derive(Debug, Clone, Copy)]
+pub struct OrcaLineF32 {
+    /// A point on the boundary line.
+    pub point: Point2F32,
+    /// Unit direction of the boundary line.
+    pub direction: Point2F32,
+}
+
+/// f32 agent state relevant to ORCA.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentStateF32 {
+    pub position: Point2F32,
+    pub velocity: Point2F32,
+    pub radius: f32,
+}
+
+/// Squared distances from `origin` to each point in `xs`/`ys` (structure-of-
+/// arrays), the per-agent neighborhood prefilter. Runtime SIMD dispatch; the
+/// AVX2 kernel performs the identical sub/mul/add per lane so scalar and
+/// wide results are bit-equal.
+pub fn dist_sq_batch_f32(origin: Point2F32, xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(xs.len(), ys.len());
+    debug_assert_eq!(xs.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if xr_tensor::serve32::simd_enabled() && xs.len() >= xr_tensor::serve32::LANES {
+        // SAFETY: simd_enabled() verified AVX2 at runtime.
+        unsafe { dist_sq_batch_f32_avx2(origin, xs, ys, out) };
+        return;
+    }
+    dist_sq_batch_f32_scalar(origin, xs, ys, out);
+}
+
+/// Scalar reference for the distance prefilter.
+pub fn dist_sq_batch_f32_scalar(origin: Point2F32, xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    for i in 0..xs.len() {
+        let dx = xs[i] - origin.x;
+        let dy = ys[i] - origin.y;
+        out[i] = dx * dx + dy * dy;
+    }
+}
+
+/// AVX2 distance prefilter: 8 agents per lane.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dist_sq_batch_f32_avx2(origin: Point2F32, xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    const LANES: usize = xr_tensor::serve32::LANES;
+    let n = xs.len();
+    let n8 = n - n % LANES;
+    let ox = _mm256_set1_ps(origin.x);
+    let oy = _mm256_set1_ps(origin.y);
+    let mut i = 0;
+    while i < n8 {
+        let dx = _mm256_sub_ps(_mm256_loadu_ps(xs.as_ptr().add(i)), ox);
+        let dy = _mm256_sub_ps(_mm256_loadu_ps(ys.as_ptr().add(i)), oy);
+        let d = _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy));
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), d);
+        i += LANES;
+    }
+    for j in n8..n {
+        let dx = xs[j] - origin.x;
+        let dy = ys[j] - origin.y;
+        out[j] = dx * dx + dy * dy;
+    }
+}
+
+/// f32 port of [`crate::orca::orca_line`]: the half-plane constraint induced
+/// on agent `a` by agent `b`.
+pub fn orca_line_f32(a: &AgentStateF32, b: &AgentStateF32, time_horizon: f32, time_step: f32) -> OrcaLineF32 {
+    let relative_position = b.position - a.position;
+    let relative_velocity = a.velocity - b.velocity;
+    let dist_sq = relative_position.norm_sq();
+    let combined_radius = a.radius + b.radius;
+    let combined_radius_sq = combined_radius * combined_radius;
+
+    let (direction, u);
+
+    if dist_sq > combined_radius_sq {
+        // No collision yet: constrain against the truncated velocity obstacle.
+        let inv_horizon = 1.0 / time_horizon;
+        let w = relative_velocity - relative_position * inv_horizon;
+        let w_len_sq = w.norm_sq();
+        let dot1 = w.dot(relative_position);
+
+        if dot1 < 0.0 && dot1 * dot1 > combined_radius_sq * w_len_sq {
+            // Project on the cutoff circle.
+            let w_len = w_len_sq.sqrt();
+            let unit_w = w / w_len;
+            direction = Point2F32::new(unit_w.y, -unit_w.x);
+            u = unit_w * (combined_radius * inv_horizon - w_len);
+        } else {
+            // Project on the nearest leg of the cone.
+            let leg = (dist_sq - combined_radius_sq).sqrt();
+            if relative_position.cross(w) > 0.0 {
+                direction = Point2F32::new(
+                    relative_position.x * leg - relative_position.y * combined_radius,
+                    relative_position.x * combined_radius + relative_position.y * leg,
+                ) / dist_sq;
+            } else {
+                direction = -Point2F32::new(
+                    relative_position.x * leg + relative_position.y * combined_radius,
+                    -relative_position.x * combined_radius + relative_position.y * leg,
+                ) / dist_sq;
+            }
+            let dot2 = relative_velocity.dot(direction);
+            u = direction * dot2 - relative_velocity;
+        }
+    } else {
+        // Already colliding: push apart within one time step.
+        let inv_time_step = 1.0 / time_step;
+        let w = relative_velocity - relative_position * inv_time_step;
+        let w_len = w.norm().max(1e-6);
+        let unit_w = w / w_len;
+        direction = Point2F32::new(unit_w.y, -unit_w.x);
+        u = unit_w * (combined_radius * inv_time_step - w_len);
+    }
+
+    OrcaLineF32 { point: a.velocity + u * 0.5, direction }
+}
+
+/// f32 port of the 1-D LP on constraint line `line_no`.
+fn linear_program1_f32(
+    lines: &[OrcaLineF32],
+    line_no: usize,
+    max_speed: f32,
+    opt_velocity: Point2F32,
+    direction_opt: bool,
+) -> Option<Point2F32> {
+    let line = lines[line_no];
+    let dot = line.point.dot(line.direction);
+    let discriminant = dot * dot + max_speed * max_speed - line.point.norm_sq();
+    if discriminant < 0.0 {
+        return None; // max-speed circle misses the line entirely
+    }
+    let sqrt_disc = discriminant.sqrt();
+    let mut t_left = -dot - sqrt_disc;
+    let mut t_right = -dot + sqrt_disc;
+
+    for prev in lines.iter().take(line_no) {
+        let denominator = line.direction.cross(prev.direction);
+        let numerator = prev.direction.cross(line.point - prev.point);
+        if denominator.abs() <= 1e-6 {
+            // parallel lines
+            if numerator < 0.0 {
+                return None;
+            }
+            continue;
+        }
+        let t = numerator / denominator;
+        if denominator >= 0.0 {
+            t_right = t_right.min(t);
+        } else {
+            t_left = t_left.max(t);
+        }
+        if t_left > t_right {
+            return None;
+        }
+    }
+
+    let t = if direction_opt {
+        // optimize direction: take extreme point in the optimization direction
+        if opt_velocity.dot(line.direction) > 0.0 {
+            t_right
+        } else {
+            t_left
+        }
+    } else {
+        // optimize closest point to opt_velocity
+        (line.direction.dot(opt_velocity - line.point)).clamp(t_left, t_right)
+    };
+    Some(line.point + line.direction * t)
+}
+
+/// f32 port of the incremental 2-D LP.
+fn linear_program2_f32(
+    lines: &[OrcaLineF32],
+    max_speed: f32,
+    opt_velocity: Point2F32,
+    direction_opt: bool,
+) -> (usize, Point2F32) {
+    let mut result = if direction_opt {
+        // opt_velocity is a unit direction
+        opt_velocity * max_speed
+    } else if opt_velocity.norm_sq() > max_speed * max_speed {
+        opt_velocity.normalized() * max_speed
+    } else {
+        opt_velocity
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.direction.cross(line.point - result) > 0.0 {
+            // current result violates constraint i
+            match linear_program1_f32(lines, i, max_speed, opt_velocity, direction_opt) {
+                Some(v) => result = v,
+                None => return (i, result),
+            }
+        }
+    }
+    (lines.len(), result)
+}
+
+/// f32 port of the projective 3-D fallback.
+fn linear_program3_f32(lines: &[OrcaLineF32], begin_line: usize, max_speed: f32, result: &mut Point2F32) {
+    let mut distance = 0.0;
+    for i in begin_line..lines.len() {
+        if lines[i].direction.cross(lines[i].point - *result) > distance {
+            // result violates constraint i beyond current max violation
+            let mut proj_lines: Vec<OrcaLineF32> = Vec::with_capacity(i);
+            for prev in lines.iter().take(i) {
+                let determinant = lines[i].direction.cross(prev.direction);
+                let point = if determinant.abs() <= 1e-6 {
+                    if lines[i].direction.dot(prev.direction) > 0.0 {
+                        continue; // same direction: redundant
+                    }
+                    (lines[i].point + prev.point) * 0.5
+                } else {
+                    lines[i].point
+                        + lines[i].direction
+                            * (prev.direction.cross(lines[i].point - prev.point) / determinant)
+                };
+                let direction = (prev.direction - lines[i].direction).normalized();
+                proj_lines.push(OrcaLineF32 { point, direction });
+            }
+            let temp = *result;
+            let opt_dir = Point2F32::new(-lines[i].direction.y, lines[i].direction.x);
+            let (count, v) = linear_program2_f32(&proj_lines, max_speed, opt_dir, true);
+            if count >= proj_lines.len() {
+                *result = v;
+            } else {
+                *result = temp; // keep previous on numerical failure
+            }
+            distance = lines[i].direction.cross(lines[i].point - *result);
+        }
+    }
+}
+
+/// f32 port of [`crate::orca::solve_velocity`].
+pub fn solve_velocity_f32(lines: &[OrcaLineF32], max_speed: f32, preferred: Point2F32) -> Point2F32 {
+    let (count, mut result) = linear_program2_f32(lines, max_speed, preferred, false);
+    if count < lines.len() {
+        linear_program3_f32(lines, count, max_speed, &mut result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orca::{orca_line, solve_velocity, AgentState, OrcaLine};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xr_graph::geom::Point2;
+
+    #[test]
+    fn dist_sq_simd_matches_scalar_bitwise_including_tails() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &n in &[1usize, 7, 8, 9, 16, 23] {
+            let xs: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0) as f32).collect();
+            let ys: Vec<f32> = (0..n).map(|_| rng.gen_range(-5.0..5.0) as f32).collect();
+            let origin = Point2F32::new(rng.gen_range(-5.0..5.0) as f32, rng.gen_range(-5.0..5.0) as f32);
+            let mut scalar = vec![0.0f32; n];
+            let mut wide = vec![0.0f32; n];
+            dist_sq_batch_f32_scalar(origin, &xs, &ys, &mut scalar);
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx2") {
+                unsafe { dist_sq_batch_f32_avx2(origin, &xs, &ys, &mut wide) };
+                for i in 0..n {
+                    assert_eq!(scalar[i].to_bits(), wide[i].to_bits(), "n={n} lane {i}");
+                }
+            }
+            dist_sq_batch_f32(origin, &xs, &ys, &mut wide);
+            for i in 0..n {
+                assert_eq!(scalar[i].to_bits(), wide[i].to_bits(), "dispatch n={n} lane {i}");
+            }
+            assert!(scalar.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn unconstrained_returns_preferred() {
+        let v = solve_velocity_f32(&[], 2.0, Point2F32::new(1.0, 0.5));
+        assert_eq!(v, Point2F32::new(1.0, 0.5));
+    }
+
+    #[test]
+    fn single_halfplane_projects() {
+        let line = OrcaLineF32 { point: Point2F32::new(0.0, 1.0), direction: Point2F32::new(1.0, 0.0) };
+        let v = solve_velocity_f32(&[line], 5.0, Point2F32::new(2.0, 0.0));
+        assert!((v.y - 1.0).abs() < 1e-5, "projected onto boundary, got {v:?}");
+        assert!((v.x - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn colliding_agents_separate() {
+        let a = AgentStateF32 { position: Point2F32::zero(), velocity: Point2F32::zero(), radius: 0.4 };
+        let b =
+            AgentStateF32 { position: Point2F32::new(0.3, 0.0), velocity: Point2F32::zero(), radius: 0.4 };
+        let line = orca_line_f32(&a, &b, 2.0, 0.1);
+        let v = solve_velocity_f32(&[line], 2.0, Point2F32::zero());
+        assert!(v.x < -1e-6, "agent did not retreat: {v:?}");
+    }
+
+    #[test]
+    fn infeasible_constraints_fall_back_gracefully() {
+        let l1 = OrcaLineF32 { point: Point2F32::new(0.0, 3.0), direction: Point2F32::new(1.0, 0.0) };
+        let l2 = OrcaLineF32 { point: Point2F32::new(0.0, -3.0), direction: Point2F32::new(-1.0, 0.0) };
+        let v = solve_velocity_f32(&[l1, l2], 1.0, Point2F32::new(0.5, 0.0));
+        assert!(v.x.is_finite() && v.y.is_finite());
+        assert!(v.norm() <= 1.0 + 1e-4);
+    }
+
+    /// The f32 solver tracks the f64 solver within single-precision tolerance
+    /// on random multi-agent scenes.
+    #[test]
+    fn f32_solver_tracks_f64_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for case in 0..200 {
+            let n_neighbors = rng.gen_range(1..6);
+            let me64 = AgentState {
+                position: Point2::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)),
+                velocity: Point2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                radius: 0.3,
+            };
+            let mut lines64: Vec<OrcaLine> = Vec::new();
+            let mut lines32: Vec<OrcaLineF32> = Vec::new();
+            for _ in 0..n_neighbors {
+                let other64 = AgentState {
+                    position: Point2::new(rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)),
+                    velocity: Point2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)),
+                    radius: 0.3,
+                };
+                // Skip coincident agents: the collision branch normalizes a
+                // near-zero w and diverges between precisions.
+                if (other64.position - me64.position).norm() < 1e-3 {
+                    continue;
+                }
+                lines64.push(orca_line(&me64, &other64, 2.0, 0.25));
+                let me32 = AgentStateF32 {
+                    position: Point2F32::from_f64(me64.position),
+                    velocity: Point2F32::from_f64(me64.velocity),
+                    radius: 0.3,
+                };
+                let other32 = AgentStateF32 {
+                    position: Point2F32::from_f64(other64.position),
+                    velocity: Point2F32::from_f64(other64.velocity),
+                    radius: 0.3,
+                };
+                lines32.push(orca_line_f32(&me32, &other32, 2.0, 0.25));
+            }
+            let pref64 = Point2::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            let v64 = solve_velocity(&lines64, 1.5, pref64);
+            let v32 = solve_velocity_f32(&lines32, 1.5, Point2F32::from_f64(pref64));
+            // Constraint sets near LP degeneracy can legitimately diverge;
+            // require agreement on the overwhelming majority, checked via a
+            // generous per-case tolerance.
+            let dx = (v64.x - v32.x as f64).abs();
+            let dy = (v64.y - v32.y as f64).abs();
+            assert!(dx < 5e-2 && dy < 5e-2, "case {case}: f64 {v64:?} vs f32 {v32:?} (n={n_neighbors})");
+        }
+    }
+}

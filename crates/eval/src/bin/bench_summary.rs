@@ -1,20 +1,21 @@
-//! Machine-readable performance summary for the hot-path overhaul: blocked
+//! Machine-readable performance summary for the repo's hot paths: blocked
 //! vs. naive matmul, sparse vs. dense GNN kernels, grid vs. brute-force
-//! crowd neighbor queries, and serial vs. parallel experiment cells.
+//! crowd neighbor queries, serial vs. parallel experiment cells, cached vs.
+//! uncached training epochs, the matmul dispatch crossover table, shared
+//! scene-engine context builds, and the f64-train / f32-serve recommend
+//! split.
 //!
-//! Writes `BENCH_pr2.json` and `BENCH_pr4.json` at the workspace root (next
-//! to `Cargo.toml`) via the `xr_obs` JSON exporter and prints them to
-//! stdout. All "before" numbers are the pre-overhaul code paths, which are
-//! kept callable behind flags (`matmul_naive`, `dense_kernels`,
-//! `use_spatial_grid: false`, `AFTER_THREADS=1`, `fresh_mia`/`fresh_tape`),
-//! so the comparison runs both sides in one build.
+//! Writes one JSON summary (default `BENCH_pr6.json` at the workspace root,
+//! next to `Cargo.toml`; override with `--out=PATH`) via the `xr_obs` JSON
+//! exporter and prints it to stdout. All "before" numbers are the
+//! pre-overhaul code paths, which are kept callable behind flags
+//! (`matmul_naive`, `dense_kernels`, `use_spatial_grid: false`,
+//! `AFTER_THREADS=1`, `fresh_mia`/`fresh_tape`, `serve_f32: false`), so the
+//! comparison runs both sides in one build. Historical `BENCH_pr*.json`
+//! files stay committed as published; this binary only writes the current
+//! summary.
 //!
-//! `BENCH_pr4.json` covers the training hot-path overhaul: steady-state
-//! train-epoch time with the episode MIA cache + tape arena on vs. off, the
-//! adaptive matmul dispatch crossover table, and the tape-reuse delta in
-//! isolation.
-//!
-//! Usage: `cargo run --release -p xr-eval --bin bench_summary`
+//! Usage: `cargo run --release -p xr-eval --bin bench_summary [--out=PATH]`
 //! Accepts `--trace[=PATH]` / `--metrics[=PATH]` (or `AFTER_TRACE` /
 //! `AFTER_METRICS`) to additionally capture the instrumented kernels'
 //! own telemetry while the benchmarks run.
@@ -162,6 +163,40 @@ fn bench_poshgnn_step() -> Json {
         })
         .collect();
     Json::from(rows)
+}
+
+fn bench_recommend_serve() -> Json {
+    // Full recommend step on a trained snapshot: the f64 inference path vs.
+    // the f32 serving path (SIMD kernels behind runtime dispatch). Both
+    // models import the same trained weights, so only the serving precision
+    // and kernels differ — the train path itself stays f64 in both arms.
+    let dataset = Dataset::generate(DatasetKind::Timik, 2);
+    let sizes = [100usize, 200];
+    let rows: Vec<Json> = sizes
+        .iter()
+        .map(|&n| {
+            let scenario_cfg =
+                ScenarioConfig { n_participants: n, time_steps: 30, seed: 11, ..ScenarioConfig::default() };
+            let scenario = dataset.sample_scenario(&scenario_cfg);
+            let ctxs = build_contexts(&scenario, &pick_targets(&scenario, 2, 7), 0.5);
+            let mut trained = PoshGnn::new(PoshGnnConfig { serve_f32: false, ..Default::default() });
+            trained.train(&ctxs, 2);
+            let snapshot = trained.export_params();
+            let mut ms = [0.0f64; 2];
+            for (slot, serve_f32) in [(0usize, false), (1, true)] {
+                let mut model = PoshGnn::new(PoshGnnConfig { serve_f32, ..Default::default() });
+                assert!(model.import_params(&snapshot), "snapshot shape mismatch");
+                ms[slot] = run_method(&mut model, &ctxs).ms_per_step;
+            }
+            Json::obj()
+                .set("n", n)
+                .set("time_steps", 30u64)
+                .set("f64_ms_per_step", num3(ms[0]))
+                .set("f32_ms_per_step", num3(ms[1]))
+                .set("speedup", num3(ms[0] / ms[1]))
+        })
+        .collect();
+    Json::obj().set("simd", xr_tensor::simd_enabled()).set("sizes", Json::from(rows))
 }
 
 /// Steady-state per-epoch training wall time for two configurations: train
@@ -359,53 +394,64 @@ fn bench_parallel_runner() -> Json {
         .set("speedup", num3(serial_s / parallel_s))
 }
 
+/// Output path for the summary: `--out=PATH` (or `--out PATH`) on the
+/// command line, default `BENCH_pr6.json` at the workspace root.
+fn out_path() -> std::path::PathBuf {
+    let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(path) = arg.strip_prefix("--out=") {
+            return path.into();
+        }
+        if arg == "--out" {
+            if let Some(path) = args.next() {
+                return path.into();
+            }
+        }
+    }
+    root.join("BENCH_pr6.json")
+}
+
 fn main() {
     let mut obs = xr_obs::init_cli_env();
-    eprintln!("[1/9] blocked vs naive matmul");
+    let path = out_path();
+    eprintln!("[1/10] blocked vs naive matmul");
     let matmul = bench_matmul();
-    eprintln!("[2/9] sparse vs dense aggregation (SpMM)");
+    eprintln!("[2/10] sparse vs dense aggregation (SpMM)");
     let spmm = bench_spmm();
-    eprintln!("[3/9] grid vs brute-force crowd neighbors");
+    eprintln!("[3/10] grid vs brute-force crowd neighbors");
     let crowd = bench_crowd();
-    eprintln!("[4/9] POSHGNN recommend step, sparse vs dense kernels");
+    eprintln!("[4/10] POSHGNN recommend step, sparse vs dense kernels");
     let posh = bench_poshgnn_step();
-    eprintln!("[5/9] comparison runner, 1 thread vs all cores");
+    eprintln!("[5/10] comparison runner, 1 thread vs all cores");
     let runner = bench_parallel_runner();
-    eprintln!("[6/9] train epoch, MIA cache + tape arena vs uncached");
+    eprintln!("[6/10] train epoch, MIA cache + tape arena vs uncached");
     let train_epoch = bench_train_epoch();
-    eprintln!("[7/9] tape arena reuse vs fresh tape per episode");
+    eprintln!("[7/10] tape arena reuse vs fresh tape per episode");
     let tape_reuse = bench_tape_reuse();
-    eprintln!("[8/9] adaptive matmul dispatch crossover");
+    eprintln!("[8/10] adaptive matmul dispatch crossover");
     let dispatch = bench_matmul_dispatch();
-    eprintln!("[9/9] scene build, shared engine vs per-target precompute");
+    eprintln!("[9/10] scene build, shared engine vs per-target precompute");
     let scene_build = bench_scene_build();
+    eprintln!("[10/10] recommend step, f64 inference vs f32 serving");
+    let recommend_serve = bench_recommend_serve();
 
-    let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
-    let write = |name: &str, json: &Json| {
-        let text = json.pretty();
-        println!("{text}");
-        let path = root.join(name);
-        match std::fs::write(&path, format!("{text}\n")) {
-            Ok(()) => eprintln!("[written to {}]", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        }
-    };
-
-    let pr2 = Json::obj()
+    let summary = Json::obj()
         .set("matmul", matmul)
         .set("spmm", spmm)
         .set("crowd_step", crowd)
         .set("poshgnn_step", posh)
-        .set("comparison_runner", runner);
-    write("BENCH_pr2.json", &pr2);
-
-    let pr4 = Json::obj()
+        .set("comparison_runner", runner)
         .set("train_epoch", train_epoch)
         .set("tape_reuse", tape_reuse)
-        .set("matmul_dispatch", dispatch);
-    write("BENCH_pr4.json", &pr4);
-
-    let pr5 = Json::obj().set("scene_build", scene_build);
-    write("BENCH_pr5.json", &pr5);
+        .set("matmul_dispatch", dispatch)
+        .set("scene_build", scene_build)
+        .set("recommend_serve", recommend_serve);
+    let text = summary.pretty();
+    println!("{text}");
+    match std::fs::write(&path, format!("{text}\n")) {
+        Ok(()) => eprintln!("[written to {}]", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
     obs.finish();
 }

@@ -169,6 +169,18 @@ impl GcnLayer {
         store.value_mut(self.bias).fill(value);
     }
 
+    /// Parameter ids `(w_self, w_neigh, bias)` — lets serving code read the
+    /// trained weights out of the store (e.g. for down-conversion) without
+    /// going through the tape.
+    pub fn param_ids(&self) -> (ParamId, ParamId, ParamId) {
+        (self.w_self, self.w_neigh, self.bias)
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Forward pass: `h (N × in_dim)`, `adj` the `N × N` adjacency constant.
     pub fn forward<'t>(&self, tape: &'t Tape, store: &ParamStore, h: Var<'t>, adj: Var<'t>) -> Var<'t> {
         self.forward_agg(tape, store, h, &adj)

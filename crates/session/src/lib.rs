@@ -24,8 +24,10 @@
 //! derived from them — are structurally identical, not just equivalent.
 
 pub mod engine;
+pub mod serve32;
 
 pub use engine::{Frame, SceneConfig, SceneEngine, SceneState, TargetView};
+pub use serve32::{arc_f32, candidate_mask_f32, distance_row_f32, occlusion_graph_f32, ViewArcF32};
 
 /// Whether context construction should be backed by the streaming
 /// [`SceneEngine`] (the default) or the legacy per-target precompute path.
