@@ -126,6 +126,14 @@ pub struct DiffReport {
 /// candidate that still diverges becomes the new case, until none does.
 pub fn run_differential<S: DiffSubject>(subject: &S, cases: usize) -> DiffReport {
     let pair = subject.pair();
+    // run under *some* observability context so the flight recorder has the
+    // recent span/event history to dump when a case diverges; harnesses that
+    // installed their own context keep it. The panic hook covers assertion
+    // panics (assert_no_divergence, golden replays) when AFTER_FLIGHT_DUMP
+    // is set — CI points it into the artifact dir.
+    xr_obs::recorder::install_panic_hook();
+    let own_ctx = if xr_obs::is_active() { None } else { Some(xr_obs::ObsCtx::new(true, false)) };
+    let _own_guard = own_ctx.as_ref().map(xr_obs::ObsCtx::install);
     let _span = xr_obs::span!("xr_check.diff", cases = cases);
     for case_index in 0..cases {
         xr_obs::counter_add("xr_check.diff.cases", &[("pair", pair.as_str())], 1);
@@ -166,6 +174,10 @@ pub fn run_differential<S: DiffSubject>(subject: &S, cases: usize) -> DiffReport
         };
         let file = format!("counterexample-{}.txt", sanitize(&pair));
         crate::write_artifact(&file, &divergence.render());
+        // drop the flight recorder next to the counterexample: the recent
+        // span/event ring shows what the process was doing when it diverged
+        let flight = crate::artifact_dir().join(format!("flight-{}.json", sanitize(&pair)));
+        xr_obs::recorder::dump_to(&flight, "diff_divergence");
         return DiffReport { pair, cases_run: case_index + 1, divergence: Some(divergence) };
     }
     DiffReport { pair, cases_run: cases, divergence: None }
@@ -1016,6 +1028,11 @@ mod tests {
         assert!(artifact.exists(), "artifact missing at {}", artifact.display());
         let text = std::fs::read_to_string(artifact).unwrap();
         assert!(text.contains("first diverging step"));
+        // the flight-recorder dump rides along with the counterexample
+        let flight = crate::artifact_dir().join("flight-selftest--sum-vs-broken-sum.json");
+        assert!(flight.exists(), "flight dump missing at {}", flight.display());
+        let dump = std::fs::read_to_string(flight).unwrap();
+        assert!(dump.contains("traceEvents") && dump.contains("flightDumpReason"));
     }
 
     #[test]

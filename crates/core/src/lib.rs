@@ -26,7 +26,7 @@ pub mod serve;
 pub mod view;
 
 pub use loss::{poshgnn_loss, LossParams};
-pub use metrics::{evaluate_sequence, UtilityBreakdown};
+pub use metrics::{evaluate_sequence, top_k_overlap, UtilityBreakdown};
 pub use mia::{dense_adjacency, Mia, MiaOutput};
 pub use model::{PoshGnn, PoshGnnConfig, PoshVariant};
 pub use problem::TargetContext;

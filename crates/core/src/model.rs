@@ -92,6 +92,13 @@ pub struct PoshGnnConfig {
     /// a tolerance + top-k-overlap differential subject in `xr_check`.
     /// Defaults to the `AFTER_SERVE_F32=1` environment variable.
     pub serve_f32: bool,
+    /// Online serve-path drift monitoring: when `serve_f32` is on and this
+    /// is `k > 0`, every `k`-th episode also runs the f64 reference path and
+    /// exports top-k-overlap / elementwise-error drift metrics through
+    /// `xr_obs` (sampling is per-episode so both recurrent states stay
+    /// coherent). `0` disables the shadow comparison. Defaults to the
+    /// `AFTER_DRIFT_SAMPLE` environment variable.
+    pub drift_sample: usize,
 }
 
 impl Default for PoshGnnConfig {
@@ -109,6 +116,10 @@ impl Default for PoshGnnConfig {
             fresh_mia: std::env::var("AFTER_FRESH_MIA").map(|v| v == "1").unwrap_or(false),
             fresh_tape: std::env::var("AFTER_FRESH_TAPE").map(|v| v == "1").unwrap_or(false),
             serve_f32: std::env::var("AFTER_SERVE_F32").map(|v| v == "1").unwrap_or(false),
+            drift_sample: std::env::var("AFTER_DRIFT_SAMPLE")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0),
         }
     }
 }
@@ -145,6 +156,12 @@ pub struct PoshGnn {
     /// Per-episode f32 serving state (recurrent `(h, r)`, previous occlusion
     /// graph, episode-constant inputs); reset by `begin_episode`.
     serve_episode: Option<crate::serve::ServeEpisode>,
+    /// Episodes started so far — the clock for drift-monitor sampling.
+    episodes_seen: u64,
+    /// Whether the current episode runs the f64 shadow path alongside f32
+    /// for drift metrics. Decided once per episode at `begin_episode`, so
+    /// both recurrent states advance together for the whole episode.
+    drift_shadow: bool,
 }
 
 impl PoshGnn {
@@ -181,6 +198,8 @@ impl PoshGnn {
             infer_tape: Tape::new(),
             serve_net: None,
             serve_episode: None,
+            episodes_seen: 0,
+            drift_shadow: false,
         }
     }
 
@@ -371,7 +390,7 @@ impl PoshGnn {
             xr_obs::gauge_set("poshgnn.train.loss", &[], mean_loss);
             history.push(mean_loss);
         }
-        self.serve_net = None; // weights changed: stale f32 down-conversion
+        self.invalidate_serve_net("train"); // weights changed
         history
     }
 
@@ -381,8 +400,19 @@ impl PoshGnn {
     pub fn soft_recommend(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
         let _span = xr_obs::span!("poshgnn.recommend.step", t = t, n = ctx.n);
         if self.config.serve_f32 {
-            return self.soft_recommend_f32(ctx, t);
+            let out = self.soft_recommend_f32(ctx, t);
+            if self.drift_shadow {
+                let reference = self.soft_recommend_f64(ctx, t);
+                self.record_serve_drift(ctx, t, &out, &reference);
+            }
+            return out;
         }
+        self.soft_recommend_f64(ctx, t)
+    }
+
+    /// The f64 tape inference step — the reference path, also run as the
+    /// drift monitor's shadow when sampled.
+    fn soft_recommend_f64(&mut self, ctx: &TargetContext, t: usize) -> Vec<f64> {
         let tape = std::mem::take(&mut self.infer_tape);
         tape.reset();
         let (h_prev, r_prev) = match self.episode_state.take() {
@@ -420,6 +450,7 @@ impl PoshGnn {
         let net = match &self.serve_net {
             Some(net) => Rc::clone(net),
             None => {
+                let build_timer = xr_obs::start_timer();
                 let net = Rc::new(crate::serve::ServeNet::from_layers(
                     &self.store,
                     &self.pdr1,
@@ -429,6 +460,8 @@ impl PoshGnn {
                     &self.lwp3,
                     self.config.variant,
                 ));
+                xr_obs::observe_since("poshgnn.serve.net_build.ms", &[], build_timer);
+                xr_obs::counter_add("poshgnn.serve.net_build", &[], 1);
                 self.serve_net = Some(Rc::clone(&net));
                 net
             }
@@ -438,6 +471,38 @@ impl PoshGnn {
             self.serve_episode = Some(crate::serve::ServeEpisode::new(ctx, self.config.hidden));
         }
         self.serve_episode.as_mut().expect("just ensured").step(&net, ctx, t)
+    }
+
+    /// Exports drift metrics for one sampled step: top-5 ranking overlap and
+    /// max elementwise error between the f32 decision scores and the f64
+    /// reference, with a warning when agreement falls below the same 0.6
+    /// floor the `xr_check` differential subject enforces offline.
+    fn record_serve_drift(&self, ctx: &TargetContext, t: usize, served: &[f64], reference: &[f64]) {
+        const DRIFT_TOP_K: usize = 5;
+        const OVERLAP_FLOOR: f64 = 0.6;
+        let overlap = crate::metrics::top_k_overlap(served, reference, DRIFT_TOP_K);
+        let max_abs_err = served.iter().zip(reference).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        xr_obs::counter_add("poshgnn.serve.drift.samples", &[], 1);
+        xr_obs::observe("poshgnn.serve.drift.topk_overlap", &[], overlap);
+        xr_obs::observe("poshgnn.serve.drift.max_abs_err", &[], max_abs_err);
+        if overlap < OVERLAP_FLOOR {
+            xr_obs::warn_event!(
+                "poshgnn.serve.drift.low_overlap",
+                t = t,
+                n = ctx.n,
+                overlap = format!("{overlap:.3}"),
+                max_abs_err = format!("{max_abs_err:.2e}")
+            );
+        }
+    }
+
+    /// Drops the stale f32 weight down-conversion (if one was built),
+    /// counting the invalidation by cause so serving telemetry shows how
+    /// often rebuilds happen and why.
+    fn invalidate_serve_net(&mut self, cause: &'static str) {
+        if self.serve_net.take().is_some() {
+            xr_obs::counter_add("poshgnn.serve.net_invalidated", &[("cause", cause)], 1);
+        }
     }
 
     /// Read-only view of the parameter store: block names, values, and the
@@ -450,7 +515,7 @@ impl PoshGnn {
     /// tooling (finite-difference perturbation in `xr_check`); training code
     /// should go through [`PoshGnn::train`].
     pub fn params_mut(&mut self) -> &mut ParamStore {
-        self.serve_net = None; // caller may mutate weights
+        self.invalidate_serve_net("params_mut"); // caller may mutate weights
         &mut self.store
     }
 
@@ -461,7 +526,7 @@ impl PoshGnn {
 
     /// Restores a snapshot from [`PoshGnn::export_params`].
     pub fn import_params(&mut self, flat: &[f64]) -> bool {
-        self.serve_net = None; // weights changed: stale f32 down-conversion
+        self.invalidate_serve_net("import"); // weights changed
         self.store.import_flat(flat)
     }
 }
@@ -480,6 +545,13 @@ impl AfterRecommender for PoshGnn {
         // arm the cache empty: entries appear as ticks are served, so the
         // model never computes MIA ahead of the step it is recommending
         self.episode_mia = (!self.config.fresh_mia).then(Vec::new);
+        // decide drift sampling per episode: a mid-episode toggle would
+        // desynchronize the f64 shadow's recurrent state
+        self.drift_shadow = self.config.serve_f32
+            && self.config.drift_sample > 0
+            && self.episodes_seen.is_multiple_of(self.config.drift_sample as u64)
+            && xr_obs::is_active();
+        self.episodes_seen += 1;
     }
 
     fn recommend_step(&mut self, view: &StepView<'_>) -> Vec<bool> {
@@ -660,6 +732,61 @@ mod tests {
         model.begin_episode(&StepView::new(&ctx, 0));
         let after = model.soft_recommend(&ctx, 0);
         assert_ne!(before, after, "serve net must be rebuilt from retrained weights");
+    }
+
+    #[test]
+    fn drift_monitor_exports_high_overlap_on_seeded_serve_run() {
+        let train_ctx = small_ctx(13);
+        let eval_ctx = small_ctx(14);
+        let mut m64 = PoshGnn::new(PoshGnnConfig::default());
+        m64.train(std::slice::from_ref(&train_ctx), 10);
+        let snapshot = m64.export_params();
+        let mut model =
+            PoshGnn::new(PoshGnnConfig { serve_f32: true, drift_sample: 1, ..Default::default() });
+        assert!(model.import_params(&snapshot));
+        let ctx_obs = xr_obs::ObsCtx::new(true, false);
+        let _g = ctx_obs.install();
+        model.begin_episode(&StepView::new(&eval_ctx, 0));
+        for t in 0..=eval_ctx.t_max() {
+            model.soft_recommend(&eval_ctx, t);
+        }
+        let snap = ctx_obs.registry.snapshot();
+        let steps = (eval_ctx.t_max() + 1) as u64;
+        assert_eq!(snap.counter("poshgnn.serve.drift.samples"), Some(steps));
+        let overlap = snap.histogram("poshgnn.serve.drift.topk_overlap").expect("overlap exported");
+        assert_eq!(overlap.count, steps);
+        // the acceptance bar: f32 decisions agree with f64 on ≥60% of the
+        // top-5 at every sampled step (same floor as the xr_check subject)
+        assert!(overlap.min >= 0.6, "top-5 overlap floor violated: {}", overlap.min);
+        let err = snap.histogram("poshgnn.serve.drift.max_abs_err").expect("error exported");
+        assert!(err.max < 1e-3, "elementwise drift too large: {}", err.max);
+        // import_params happened before the obs ctx was installed, so the
+        // invalidation counter only counts in-window causes
+        assert_eq!(snap.counter("poshgnn.serve.net_invalidated{cause=import}"), None);
+    }
+
+    #[test]
+    fn serve_net_invalidations_are_counted_by_cause() {
+        let ctx = small_ctx(15);
+        let ctx_obs = xr_obs::ObsCtx::new(true, false);
+        let _g = ctx_obs.install();
+        let mut model = PoshGnn::new(PoshGnnConfig { serve_f32: true, ..Default::default() });
+        // nothing built yet: invalidation of an absent net must not count
+        model.params_mut();
+        model.begin_episode(&StepView::new(&ctx, 0));
+        model.soft_recommend(&ctx, 0); // builds the net
+        model.train(std::slice::from_ref(&ctx), 1); // invalidates: train
+        model.soft_recommend(&ctx, 1); // rebuilds
+        model.params_mut(); // invalidates: params_mut
+        let snapshot = model.export_params();
+        model.soft_recommend(&ctx, 2); // rebuilds
+        assert!(model.import_params(&snapshot)); // invalidates: import
+        let snap = ctx_obs.registry.snapshot();
+        assert_eq!(snap.counter("poshgnn.serve.net_invalidated{cause=train}"), Some(1));
+        assert_eq!(snap.counter("poshgnn.serve.net_invalidated{cause=params_mut}"), Some(1));
+        assert_eq!(snap.counter("poshgnn.serve.net_invalidated{cause=import}"), Some(1));
+        assert_eq!(snap.counter("poshgnn.serve.net_build"), Some(3));
+        assert!(snap.histogram("poshgnn.serve.net_build.ms").map(|h| h.count) == Some(3));
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl ServeLayer {
 
     /// Forward pass `act(H·W₁ + (agg·H)·W₂ + b)` on the f32 kernels.
     pub fn forward(&self, h: &MatrixF32, agg: &CsrF32) -> MatrixF32 {
+        let _span = xr_obs::span!("poshgnn.serve.layer");
         let mut own = h.matmul(&self.w_self);
         let neigh = agg.matmul_dense(h).matmul(&self.w_neigh);
         let (rows, cols) = own.shape();
@@ -180,7 +181,10 @@ impl ServeEpisode {
 
     fn ensure_scene(&mut self, ctx: &TargetContext, t: usize) {
         if self.scene[t].is_none() {
+            let timer = xr_obs::start_timer();
             self.scene[t] = Some(SceneTick::build(ctx, t));
+            xr_obs::observe_since("poshgnn.serve.scene_downconvert.ms", &[], timer);
+            xr_obs::counter_add("poshgnn.serve.scene_downconvert", &[], 1);
         }
     }
 

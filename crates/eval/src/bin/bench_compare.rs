@@ -1,0 +1,348 @@
+//! CI regression gate over two `bench_summary` outputs: compares every
+//! numeric `"speedup"` field of the current summary against the committed
+//! baseline. Also gates the `obs_overhead` section's `overhead_pct` values
+//! against an absolute ceiling, so the always-on observability layer cannot
+//! quietly grow past its <3% budget (the default ceiling leaves headroom
+//! for noisy CI machines).
+//!
+//! Speedups are ratios of two arms measured in the same process on the same
+//! machine, which makes them far more stable across hosts than raw
+//! milliseconds — that is why the gate compares them instead of wall times.
+//! Even so, individual sub-millisecond kernels on shared single-core CI
+//! runners swing by 2x run to run (an interfering tenant during one arm
+//! skews that one ratio), so per-field thresholds alone would red-herring
+//! constantly. The gate therefore fails on either of two signals:
+//!
+//! 1. The **geometric mean** of `current/baseline` across all shared
+//!    speedup fields drops below `1 - tolerance` — broad throughput loss;
+//!    per-field interference noise averages out of this statistic.
+//! 2. Any **single field's** ratio drops below `1 - single-tolerance` — a
+//!    catastrophic collapse (e.g. a kernel silently falling back to the
+//!    naive path) that a mean would dilute.
+//!
+//! Per-field drops between the two thresholds are reported as warnings.
+//!
+//! Usage:
+//! `cargo run --release -p xr-eval --bin bench_compare -- \`
+//! `    --baseline=BENCH_pr6.json --current=BENCH_pr7.json \`
+//! `    [--tolerance=0.15] [--single-tolerance=0.6] [--max-overhead-pct=6]`
+//!
+//! Sections present only in the baseline (removed benchmarks) or only in
+//! the current summary (new benchmarks) are reported as warnings, never
+//! failures: a new PR legitimately adds benchmark sections.
+
+use std::process::exit;
+
+use xr_obs::Json;
+
+/// Recursively collects `(path, value)` for every numeric `"speedup"` field.
+/// Array elements are addressed by index, so two summaries with the same
+/// shape produce directly comparable paths.
+fn collect_speedups(json: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    match json {
+        Json::Obj(entries) => {
+            for (key, value) in entries {
+                let path = if prefix.is_empty() { key.clone() } else { format!("{prefix}.{key}") };
+                if key == "speedup" {
+                    if let Some(x) = value.as_f64() {
+                        out.push((path, x));
+                        continue;
+                    }
+                }
+                collect_speedups(value, &path, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, value) in items.iter().enumerate() {
+                collect_speedups(value, &format!("{prefix}[{i}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Comparison outcome: hard failures plus informational warnings.
+#[derive(Debug, Default, PartialEq)]
+struct Verdict {
+    regressions: Vec<String>,
+    warnings: Vec<String>,
+}
+
+impl Verdict {
+    fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares every shared speedup path. `tolerance` bounds the allowed drop
+/// of the geometric-mean ratio across all shared fields (0.15 = the overall
+/// throughput may sit up to 15% below baseline); `single_tolerance` bounds
+/// the drop of any one field (0.6 = a single speedup collapsing to less
+/// than 40% of baseline fails on its own). Per-field drops beyond
+/// `tolerance` but short of `single_tolerance` are warnings.
+fn compare_speedups(baseline: &Json, current: &Json, tolerance: f64, single_tolerance: f64) -> Verdict {
+    let mut base = Vec::new();
+    let mut cur = Vec::new();
+    collect_speedups(baseline, "", &mut base);
+    collect_speedups(current, "", &mut cur);
+    let mut verdict = Verdict::default();
+    let mut log_ratio_sum = 0.0;
+    let mut shared = 0usize;
+    for (path, b) in &base {
+        match cur.iter().find(|(p, _)| p == path) {
+            Some((_, c)) if *b > 0.0 && *c > 0.0 => {
+                let ratio = c / b;
+                log_ratio_sum += ratio.ln();
+                shared += 1;
+                if ratio < 1.0 - single_tolerance {
+                    verdict.regressions.push(format!(
+                        "{path}: speedup {c:.3} collapsed to {:.0}% of baseline {b:.3} \
+                         (single-field floor {:.0}%)",
+                        ratio * 100.0,
+                        (1.0 - single_tolerance) * 100.0
+                    ));
+                } else if ratio < 1.0 - tolerance {
+                    verdict
+                        .warnings
+                        .push(format!("{path}: speedup {c:.3} is {:.0}% of baseline {b:.3}", ratio * 100.0));
+                }
+            }
+            Some((_, c)) => verdict
+                .warnings
+                .push(format!("{path}: non-positive speedup (baseline {b:.3}, current {c:.3})")),
+            None => verdict.warnings.push(format!("{path}: present in baseline only")),
+        }
+    }
+    if shared > 0 {
+        let geomean = (log_ratio_sum / shared as f64).exp();
+        if geomean < 1.0 - tolerance {
+            verdict.regressions.push(format!(
+                "geometric mean of {shared} speedup ratios is {:.1}% of baseline \
+                 (floor {:.0}%)",
+                geomean * 100.0,
+                (1.0 - tolerance) * 100.0
+            ));
+        } else {
+            println!(
+                "bench_compare: geometric mean of {shared} speedup ratios is {:.1}% of baseline",
+                geomean * 100.0
+            );
+        }
+    }
+    for (path, _) in &cur {
+        if !base.iter().any(|(p, _)| p == path) {
+            verdict.warnings.push(format!("{path}: new in current summary"));
+        }
+    }
+    verdict
+}
+
+/// Gates `obs_overhead.*.overhead_pct` in the current summary against an
+/// absolute ceiling. Absent sections are warnings (older baselines predate
+/// the overhead benchmark), present-but-over-budget values are failures.
+fn check_overhead(current: &Json, max_pct: f64) -> Verdict {
+    let mut verdict = Verdict::default();
+    let Some(section) = current.get("obs_overhead") else {
+        verdict.warnings.push("obs_overhead: section missing from current summary".into());
+        return verdict;
+    };
+    for arm in ["train_epoch", "recommend_step"] {
+        match section.get(arm).and_then(|a| a.get("overhead_pct")).and_then(Json::as_f64) {
+            Some(pct) if pct > max_pct => verdict
+                .regressions
+                .push(format!("obs_overhead.{arm}: {pct:.2}% exceeds the {max_pct:.1}% ceiling")),
+            Some(_) => {}
+            None => verdict.warnings.push(format!("obs_overhead.{arm}: overhead_pct missing")),
+        }
+    }
+    verdict
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let eq = format!("{name}=");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(v) = arg.strip_prefix(&eq) {
+            return Some(v.to_string());
+        }
+        if arg == name {
+            return iter.next().cloned();
+        }
+    }
+    None
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare FAIL: cannot read {path}: {e}");
+        exit(1);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare FAIL: {path} is not valid JSON: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(baseline_path), Some(current_path)) =
+        (flag_value(&args, "--baseline"), flag_value(&args, "--current"))
+    else {
+        eprintln!(
+            "usage: bench_compare --baseline=OLD.json --current=NEW.json \
+             [--tolerance=0.15] [--single-tolerance=0.6] [--max-overhead-pct=6]"
+        );
+        exit(2);
+    };
+    let tolerance: f64 = flag_value(&args, "--tolerance").map_or(0.15, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_compare FAIL: bad --tolerance {v:?}");
+            exit(2);
+        })
+    });
+    let single_tolerance: f64 = flag_value(&args, "--single-tolerance").map_or(0.6, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_compare FAIL: bad --single-tolerance {v:?}");
+            exit(2);
+        })
+    });
+    let max_overhead_pct: f64 = flag_value(&args, "--max-overhead-pct").map_or(6.0, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_compare FAIL: bad --max-overhead-pct {v:?}");
+            exit(2);
+        })
+    });
+
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+    let mut verdict = compare_speedups(&baseline, &current, tolerance, single_tolerance);
+    let overhead = check_overhead(&current, max_overhead_pct);
+    verdict.regressions.extend(overhead.regressions);
+    verdict.warnings.extend(overhead.warnings);
+
+    for w in &verdict.warnings {
+        eprintln!("bench_compare warning: {w}");
+    }
+    if !verdict.pass() {
+        for r in &verdict.regressions {
+            eprintln!("bench_compare REGRESSION: {r}");
+        }
+        eprintln!("bench_compare FAIL: {} regression(s) vs {baseline_path}", verdict.regressions.len());
+        exit(1);
+    }
+    println!(
+        "bench_compare PASS: {current_path} holds throughput within {:.0}% of {baseline_path} \
+         (no single field below {:.0}% of its baseline)",
+        tolerance * 100.0,
+        (1.0 - single_tolerance) * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(spmm_speedup: f64, row_speedup: f64) -> Json {
+        Json::obj().set("spmm", Json::obj().set("dense_ms", 4.0).set("speedup", spmm_speedup)).set(
+            "matmul",
+            Json::Arr(vec![
+                Json::obj().set("m", 128u64).set("speedup", row_speedup),
+                Json::obj().set("m", 256u64).set("speedup", 3.0),
+            ]),
+        )
+    }
+
+    #[test]
+    fn collects_nested_and_indexed_speedups() {
+        let mut out = Vec::new();
+        collect_speedups(&summary(2.0, 5.0), "", &mut out);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            out,
+            vec![
+                ("matmul[0].speedup".to_string(), 5.0),
+                ("matmul[1].speedup".to_string(), 3.0),
+                ("spmm.speedup".to_string(), 2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_summaries_pass() {
+        let v = compare_speedups(&summary(2.0, 5.0), &summary(2.0, 5.0), 0.15, 0.6);
+        assert!(v.pass());
+        assert!(v.warnings.is_empty());
+    }
+
+    #[test]
+    fn broad_drop_fails_the_geomean_but_noise_on_one_field_warns() {
+        // two of three fields down 25-30%: geomean ~81% < the 85% floor
+        let v = compare_speedups(&summary(2.0, 5.0), &summary(1.5, 3.5), 0.15, 0.6);
+        assert_eq!(v.regressions.len(), 1, "{:?}", v.regressions);
+        assert!(v.regressions[0].starts_with("geometric mean"), "{:?}", v.regressions);
+        // one field 30% down, the rest flat: warning only (geomean ~89%)
+        let v = compare_speedups(&summary(2.0, 5.0), &summary(1.4, 5.0), 0.15, 0.6);
+        assert!(v.pass(), "{:?}", v.regressions);
+        assert!(v.warnings.iter().any(|w| w.starts_with("spmm.speedup")), "{:?}", v.warnings);
+    }
+
+    #[test]
+    fn single_field_collapse_fails_on_its_own() {
+        // spmm down to 25% of baseline: below the 40% single-field floor
+        // (the geomean fails here too — both signals fire)
+        let v = compare_speedups(&summary(2.0, 5.0), &summary(0.5, 5.0), 0.15, 0.6);
+        assert!(v.regressions.iter().any(|r| r.starts_with("spmm.speedup")), "{:?}", v.regressions);
+        // one collapse among many flat fields: geomean survives, field fails
+        let base = Json::obj()
+            .set("a", Json::obj().set("speedup", 2.0))
+            .set("b", Json::obj().set("speedup", 2.0))
+            .set("c", Json::obj().set("speedup", 2.0))
+            .set("d", Json::obj().set("speedup", 2.0))
+            .set("e", Json::obj().set("speedup", 2.0));
+        let cur = Json::obj()
+            .set("a", Json::obj().set("speedup", 0.5))
+            .set("b", Json::obj().set("speedup", 2.0))
+            .set("c", Json::obj().set("speedup", 2.0))
+            .set("d", Json::obj().set("speedup", 2.0))
+            .set("e", Json::obj().set("speedup", 2.0));
+        let v = compare_speedups(&base, &cur, 0.5, 0.6);
+        assert_eq!(v.regressions.len(), 1, "{:?}", v.regressions);
+        assert!(v.regressions[0].starts_with("a.speedup"), "{:?}", v.regressions);
+    }
+
+    #[test]
+    fn shape_changes_warn_without_failing() {
+        let baseline = summary(2.0, 5.0);
+        let current = Json::obj()
+            .set("spmm", Json::obj().set("speedup", 2.0))
+            .set("brand_new", Json::obj().set("speedup", 1.0));
+        let v = compare_speedups(&baseline, &current, 0.15, 0.6);
+        assert!(v.pass());
+        assert_eq!(v.warnings.len(), 3, "{:?}", v.warnings); // 2 removed rows + 1 new section
+    }
+
+    #[test]
+    fn overhead_gate_fires_only_above_the_ceiling() {
+        let make = |train: f64, step: f64| {
+            Json::obj().set(
+                "obs_overhead",
+                Json::obj()
+                    .set("train_epoch", Json::obj().set("overhead_pct", train))
+                    .set("recommend_step", Json::obj().set("overhead_pct", step)),
+            )
+        };
+        assert!(check_overhead(&make(1.2, 2.9), 6.0).pass());
+        let v = check_overhead(&make(1.2, 7.5), 6.0);
+        assert_eq!(v.regressions.len(), 1);
+        assert!(v.regressions[0].contains("recommend_step"));
+        // negative overhead (obs arm measured faster) is fine
+        assert!(check_overhead(&make(-0.4, 0.0), 6.0).pass());
+    }
+
+    #[test]
+    fn missing_overhead_section_is_a_warning_not_a_failure() {
+        let v = check_overhead(&Json::obj().set("spmm", Json::obj()), 6.0);
+        assert!(v.pass());
+        assert_eq!(v.warnings.len(), 1);
+    }
+}

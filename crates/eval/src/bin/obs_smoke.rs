@@ -58,7 +58,47 @@ fn check_metrics(path: &PathBuf) {
     if json.get("counters").unwrap().get("events.xr_eval.par.item_done").is_none() {
         fail(&format!("{}: expected counter \"events.xr_eval.par.item_done\"", path.display()));
     }
-    eprintln!("obs_smoke: metrics OK ({} histograms)", entries.len());
+    // self-describing run metadata (PR 7): when/where/how the numbers were made
+    let meta = json
+        .get("meta")
+        .unwrap_or_else(|| fail(&format!("{} missing top-level key \"meta\"", path.display())));
+    for key in ["unix_time_s", "wall_clock_utc", "threads"] {
+        if meta.get(key).is_none() {
+            fail(&format!("{}: \"meta\" missing key {key:?}", path.display()));
+        }
+    }
+    // windowed time-series export with the runner's per-step latency series
+    let timeseries = json
+        .get("timeseries")
+        .unwrap_or_else(|| fail(&format!("{} missing top-level key \"timeseries\"", path.display())));
+    let series = timeseries
+        .get("series")
+        .unwrap_or_else(|| fail(&format!("{}: \"timeseries\" missing \"series\"", path.display())));
+    let Json::Obj(series_entries) = series else {
+        fail(&format!("{}: \"timeseries.series\" is not an object", path.display()));
+    };
+    if !series_entries.iter().any(|(name, _)| name.starts_with("xr_eval.step.ms")) {
+        fail(&format!("{}: no \"xr_eval.step.ms\" windowed series", path.display()));
+    }
+    eprintln!(
+        "obs_smoke: metrics OK ({} histograms, {} windowed series)",
+        entries.len(),
+        series_entries.len()
+    );
+}
+
+fn check_prometheus(path: &PathBuf) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    if !text.contains("# TYPE ") {
+        fail(&format!("{}: no \"# TYPE\" lines in Prometheus export", path.display()));
+    }
+    for required in ["xr_eval_comparison", "events_xr_eval_par_item_done"] {
+        if !text.contains(required) {
+            fail(&format!("{}: expected Prometheus family {required:?}", path.display()));
+        }
+    }
+    eprintln!("obs_smoke: prometheus OK ({} lines)", text.lines().count());
 }
 
 fn check_trace(path: &PathBuf) {
@@ -100,10 +140,14 @@ fn main() {
     let env_opts = ObsOptions::from_env();
     let metrics_path = env_opts.metrics_path.unwrap_or_else(|| outdir.join("obs_smoke_metrics.json"));
     let trace_path = env_opts.trace_path.unwrap_or_else(|| outdir.join("obs_smoke_trace.json"));
+    let prom_path = env_opts.prom_path.unwrap_or_else(|| outdir.join("obs_smoke_metrics.prom"));
 
     let mut session = ObsSession::start(ObsOptions {
         trace_path: Some(trace_path.clone()),
         metrics_path: Some(metrics_path.clone()),
+        prom_path: Some(prom_path.clone()),
+        slo_budget_ms: env_opts.slo_budget_ms,
+        flight_dump_path: env_opts.flight_dump_path,
     });
 
     let dataset = Dataset::generate(DatasetKind::Hubs, 1);
@@ -122,6 +166,7 @@ fn main() {
 
     check_metrics(&metrics_path);
     check_trace(&trace_path);
+    check_prometheus(&prom_path);
     if scratch {
         // only the tempdir this run created; env-overridden paths outside it
         // survive (they were asked for explicitly)

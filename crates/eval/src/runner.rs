@@ -95,6 +95,9 @@ pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) ->
     let mut total_ms = 0.0;
     let mut total_steps = 0usize;
     let latency = rec.latency_steps();
+    // per-step deadline accounting + windowed latency series, when a budget
+    // is configured (AFTER_SLO_BUDGET_MS / --slo-budget-ms)
+    let mut slo = xr_obs::SloTracker::from_env_labeled("xr_eval.step", &[("method", &name)]);
     for ctx in contexts {
         // the driver owns the full context; the method only ever sees the
         // causal per-tick views
@@ -104,7 +107,20 @@ pub fn run_method(rec: &mut dyn AfterRecommender, contexts: &[TargetContext]) ->
             let view = StepView::new(ctx, t);
             let start = Instant::now();
             let decision = rec.recommend_step(&view);
-            total_ms += start.elapsed().as_secs_f64() * 1e3;
+            let step_ms = start.elapsed().as_secs_f64() * 1e3;
+            total_ms += step_ms;
+            if let Some(slo) = &mut slo {
+                // windows count recommend steps across episodes: a stream of
+                // decisions is the serving unit, not one target's episode
+                slo.record(total_steps as u64, step_ms);
+            }
+            // rolling per-method latency series, 8 steps per window
+            xr_obs::series_observe(
+                "xr_eval.step.ms",
+                &[("method", name.as_str())],
+                total_steps as u64 / 8,
+                step_ms,
+            );
             total_steps += 1;
             computed.push(decision);
         }
@@ -494,6 +510,87 @@ mod tests {
         for ((ka, ha), (kb, hb)) in single.histograms.iter().zip(&multi.histograms) {
             assert_eq!(ka, kb);
             assert_eq!(ha.count, hb.count, "{}", ka.display());
+        }
+    }
+
+    #[test]
+    fn windowed_series_identical_at_one_vs_eight_workers() {
+        // Every cell records values derived only from its index, so the merged
+        // windowed snapshot must be *bit-identical* regardless of how the work
+        // interleaves across workers. Gauges within a window all carry the same
+        // value (last-write-wins is then order-free), and highest-window-wins
+        // eviction is exercised by spanning more windows than the ring holds.
+        let series_with_workers = |workers: usize| {
+            let ctx = xr_obs::ObsCtx::new(true, false);
+            {
+                let _guard = ctx.install();
+                crate::par::par_map_indexed_with(workers, 96, |i| {
+                    let window = (i / 8) as u64;
+                    xr_obs::series_observe(
+                        "det.step.ms",
+                        &[("method", if i % 2 == 0 { "even" } else { "odd" })],
+                        window,
+                        (i * i) as f64 * 0.25,
+                    );
+                    xr_obs::series_counter_add("det.cells", &[], window, 1);
+                    xr_obs::series_gauge_set("det.level", &[], window, window as f64 * 3.5);
+                });
+            }
+            ctx.series.snapshot()
+        };
+        let single = series_with_workers(1);
+        let multi = series_with_workers(8);
+        assert!(!single.series.is_empty());
+        assert_eq!(single, multi, "windowed merge must not depend on thread count");
+        // the counter series saw every cell exactly once across its windows
+        let cells = &multi.series("det.cells").expect("counter series present").windows;
+        let total: u64 = cells
+            .iter()
+            .map(|(_, cell)| match cell {
+                xr_obs::timeseries::WindowSnapshot::Counter(n) => *n,
+                other => panic!("unexpected cell {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 96);
+    }
+
+    #[test]
+    fn windowed_series_from_comparison_identical_at_any_thread_count() {
+        // End-to-end flavor of the determinism check: the eval runner's own
+        // per-step latency series has wall-clock *values*, but the set of
+        // series, their windows, and their observation counts are fixed by the
+        // workload alone.
+        let dataset = Dataset::generate(DatasetKind::Hubs, 1);
+        let cfg = tiny_cfg(12);
+        let series_with_threads = |threads: &str| {
+            std::env::set_var("AFTER_THREADS", threads);
+            let ctx = xr_obs::ObsCtx::new(true, false);
+            {
+                let _guard = ctx.install();
+                run_comparison(&dataset, &cfg);
+            }
+            std::env::remove_var("AFTER_THREADS");
+            ctx.series.snapshot()
+        };
+        let single = series_with_threads("1");
+        let multi = series_with_threads("8");
+        assert!(
+            single.series.iter().any(|s| s.key.name == "xr_eval.step.ms"),
+            "runner must export its step-latency series"
+        );
+        assert_eq!(single.series.len(), multi.series.len());
+        for (a, b) in single.series.iter().zip(&multi.series) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.windows.len(), b.windows.len(), "{}", a.key.display());
+            for ((wa, ca), (wb, cb)) in a.windows.iter().zip(&b.windows) {
+                assert_eq!(wa, wb, "{}", a.key.display());
+                let count = |v: &xr_obs::timeseries::WindowSnapshot| match v {
+                    xr_obs::timeseries::WindowSnapshot::Hist(h) => h.count,
+                    xr_obs::timeseries::WindowSnapshot::Counter(n) => *n,
+                    xr_obs::timeseries::WindowSnapshot::Gauge(_) => 0,
+                };
+                assert_eq!(count(ca), count(cb), "{}", a.key.display());
+            }
         }
     }
 

@@ -31,8 +31,13 @@
 //! restores the previous context on drop.
 
 pub mod json;
+pub mod meta;
 pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
 mod session;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 use std::cell::RefCell;
@@ -40,15 +45,25 @@ use std::sync::Arc;
 
 pub use json::Json;
 pub use metrics::{HistSnapshot, MetricKey, MetricsSnapshot, Registry};
+pub use recorder::FlightRecorder;
 pub use session::{init_cli_env, init_from_env, ObsOptions, ObsSession};
+pub use slo::{SloConfig, SloTracker, TickVerdict};
+pub use timeseries::{TimeSeries, TimeSeriesSnapshot};
 pub use trace::{current_span_path, Span, TraceSink};
 
-/// An observability context: one metrics registry plus an optional trace
-/// sink. Cheap to share (`Arc`) and safe to record into from many threads.
+/// An observability context: one metrics registry, one windowed time-series
+/// store, one always-on flight recorder, plus an optional trace sink. Cheap
+/// to share (`Arc`) and safe to record into from many threads.
 pub struct ObsCtx {
     /// The metrics registry telemetry accumulates into.
     pub registry: Registry,
-    /// Whether probes record metrics (counters/gauges/histograms).
+    /// Windowed per-tick series (see [`timeseries`]); gated like the
+    /// registry by [`Self::metrics_on`].
+    pub series: TimeSeries,
+    /// Bounded ring of recent spans/events for post-mortem dumps. Always
+    /// recording while this context is installed.
+    pub recorder: FlightRecorder,
+    /// Whether probes record metrics (counters/gauges/histograms/series).
     pub metrics_on: bool,
     /// Trace sink; `None` disables span/event collection.
     pub trace: Option<TraceSink>,
@@ -60,6 +75,8 @@ impl ObsCtx {
     pub fn new(metrics: bool, trace: bool) -> Arc<ObsCtx> {
         Arc::new(ObsCtx {
             registry: Registry::new(),
+            series: TimeSeries::default(),
+            recorder: FlightRecorder::default(),
             metrics_on: metrics,
             trace: if trace { Some(TraceSink::new()) } else { None },
         })
@@ -157,10 +174,58 @@ pub fn observe_since(name: &str, labels: &[(&str, &str)], timer: Option<std::tim
     }
 }
 
+/// Records `v` into the histogram cell of logical `window` in series `name`
+/// on the installed context (no-op without one).
+pub fn series_observe(name: &str, labels: &[(&str, &str)], window: u64, v: f64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if ctx.metrics_on {
+                ctx.series.observe(name, labels, window, v);
+            }
+        }
+    });
+}
+
+/// Adds `delta` to the counter cell of logical `window` in series `name` on
+/// the installed context (no-op without one).
+pub fn series_counter_add(name: &str, labels: &[(&str, &str)], window: u64, delta: u64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if ctx.metrics_on {
+                ctx.series.counter_add(name, labels, window, delta);
+            }
+        }
+    });
+}
+
+/// Sets the gauge cell of logical `window` in series `name` on the
+/// installed context (no-op without one).
+pub fn series_gauge_set(name: &str, labels: &[(&str, &str)], window: u64, v: f64) {
+    CURRENT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if ctx.metrics_on {
+                ctx.series.gauge_set(name, labels, window, v);
+            }
+        }
+    });
+}
+
+/// Rolling merged quantiles of the `last_k` most recent windows of one
+/// series on the installed context (`None` without one, or when the series
+/// holds no histogram windows).
+pub fn series_rolling(name: &str, labels: &[(&str, &str)], last_k: usize) -> Option<HistSnapshot> {
+    current_ctx().and_then(|ctx| ctx.series.rolling_quantiles(name, labels, last_k))
+}
+
 /// A deterministic snapshot of the installed context's metrics, for tests
 /// and exporters. `None` when no context is installed.
 pub fn metrics_snapshot() -> Option<MetricsSnapshot> {
     current_ctx().map(|ctx| ctx.registry.snapshot())
+}
+
+/// A deterministic snapshot of the installed context's windowed series.
+pub fn series_snapshot() -> Option<TimeSeriesSnapshot> {
+    current_ctx().map(|ctx| ctx.series.snapshot())
 }
 
 /// Event severity for [`emit_event`].
@@ -187,6 +252,7 @@ where
     }
     let args = args();
     if let Some(ctx) = &ctx {
+        ctx.recorder.record_instant(name);
         if let Some(trace) = &ctx.trace {
             trace.instant(name, args.clone());
         }

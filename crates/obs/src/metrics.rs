@@ -2,17 +2,24 @@
 //! histograms addressable by name + label pairs.
 //!
 //! Accumulation is sharded: the key hash picks one of [`SHARDS`] independent
-//! mutex-protected maps, so the `xr_eval::par` workers rarely contend on the
-//! same lock, and totals merge exactly — a counter incremented from any
+//! mutex-protected tables, so the `xr_eval::par` workers rarely contend on
+//! the same lock, and totals merge exactly — a counter incremented from any
 //! number of `std::thread::scope` workers reads the same as the
 //! single-threaded sum (u64 adds are exact, and histogram bucket counts are
 //! order-independent).
+//!
+//! Each shard is a small vector kept sorted by key, looked up by binary
+//! search against the *borrowed* `(name, labels)` pair: recording into an
+//! existing metric allocates nothing, which keeps the always-on cost of the
+//! hot per-kernel timers (hundreds of observations per training epoch)
+//! within the flight-recorder overhead budget. A `MetricKey` is only
+//! materialised the first time a metric appears.
 //!
 //! Snapshots are deterministic: entries are sorted by `(name, labels)`, so
 //! two runs that record the same values produce byte-identical exports
 //! regardless of thread interleaving.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
 use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
@@ -33,7 +40,7 @@ pub struct MetricKey {
 }
 
 impl MetricKey {
-    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+    pub(crate) fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
         let mut labels: Vec<(String, String)> =
             labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
         labels.sort();
@@ -57,6 +64,34 @@ impl MetricKey {
     }
 }
 
+/// Runs `f` over a canonically sorted view of `labels` without allocating
+/// when the input is already sorted — which covers every call site in the
+/// workspace (the hot paths pass no labels at all).
+fn with_sorted<R>(labels: &[(&str, &str)], f: impl FnOnce(&[(&str, &str)]) -> R) -> R {
+    if labels.len() <= 1 || labels.windows(2).all(|w| w[0] <= w[1]) {
+        f(labels)
+    } else {
+        let mut sorted = labels.to_vec();
+        sorted.sort();
+        f(&sorted)
+    }
+}
+
+/// Orders a stored key against a borrowed `(name, sorted labels)` pair —
+/// the comparison the allocation-free shard lookup binary-searches with.
+/// Must agree with `MetricKey`'s derived `Ord`.
+fn cmp_borrowed(key: &MetricKey, name: &str, labels: &[(&str, &str)]) -> Ordering {
+    key.name.as_str().cmp(name).then_with(|| {
+        for (stored, &(k, v)) in key.labels.iter().zip(labels) {
+            let c = stored.0.as_str().cmp(k).then_with(|| stored.1.as_str().cmp(v));
+            if c != Ordering::Equal {
+                return c;
+            }
+        }
+        key.labels.len().cmp(&labels.len())
+    })
+}
+
 enum Metric {
     Counter(u64),
     Gauge(f64),
@@ -68,7 +103,7 @@ enum Metric {
 /// rest. Exact `count`/`sum`/`min`/`max` ride along, so means are exact and
 /// only the quantiles are bucket-resolution estimates.
 #[derive(Debug, Clone)]
-struct Hist {
+pub(crate) struct Hist {
     buckets: Vec<u64>,
     count: u64,
     sum: f64,
@@ -77,7 +112,7 @@ struct Hist {
 }
 
 impl Hist {
-    fn new() -> Hist {
+    pub(crate) fn new() -> Hist {
         Hist {
             buckets: vec![0; bucket_bounds().len() + 1],
             count: 0,
@@ -87,13 +122,40 @@ impl Hist {
         }
     }
 
-    fn observe(&mut self, v: f64) {
+    pub(crate) fn observe(&mut self, v: f64) {
         let idx = bucket_index(v);
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+    }
+
+    /// Exact merge of another histogram into this one: bucket counts,
+    /// count, and sum are plain additions, so merging is commutative and
+    /// associative — the property the windowed time-series layer relies on
+    /// for cross-worker determinism.
+    pub(crate) fn merge(&mut self, other: &Hist) {
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Exported statistics of the current state.
+    pub(crate) fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
     }
 
     /// Upper-bound estimate of the `q`-quantile from bucket counts, clamped
@@ -137,7 +199,7 @@ fn bucket_index(v: f64) -> usize {
 /// `Arc<Registry>` per worker or reach it through the installed
 /// [`crate::ObsCtx`].
 pub struct Registry {
-    shards: Vec<Mutex<HashMap<MetricKey, Metric>>>,
+    shards: Vec<Mutex<Vec<(MetricKey, Metric)>>>,
 }
 
 impl Default for Registry {
@@ -149,43 +211,81 @@ impl Default for Registry {
 impl Registry {
     /// An empty registry.
     pub fn new() -> Registry {
-        Registry { shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
+        Registry { shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect() }
     }
 
-    fn shard(&self, key: &MetricKey) -> &Mutex<HashMap<MetricKey, Metric>> {
+    fn shard_index(name: &str, labels: &[(&str, &str)]) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % SHARDS]
+        name.hash(&mut hasher);
+        for &(k, v) in labels {
+            k.hash(&mut hasher);
+            v.hash(&mut hasher);
+        }
+        (hasher.finish() as usize) % SHARDS
+    }
+
+    /// Locks the owning shard and applies `apply` to the metric, creating it
+    /// via `init` on first sight. Existing metrics are updated without any
+    /// allocation: the sorted-shard binary search compares against the
+    /// borrowed name/labels directly.
+    fn update(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        init: impl FnOnce() -> Metric,
+        apply: impl FnOnce(&mut Metric),
+    ) {
+        with_sorted(labels, |labels| {
+            let mut shard =
+                self.shards[Registry::shard_index(name, labels)].lock().expect("metrics shard poisoned");
+            let slot = match shard.binary_search_by(|(k, _)| cmp_borrowed(k, name, labels)) {
+                Ok(i) => i,
+                Err(i) => {
+                    shard.insert(i, (MetricKey::new(name, labels), init()));
+                    i
+                }
+            };
+            apply(&mut shard[slot].1);
+        });
     }
 
     /// Adds `delta` to a counter, creating it at zero first.
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(&key).lock().expect("metrics shard poisoned");
-        match shard.entry(key).or_insert(Metric::Counter(0)) {
-            Metric::Counter(c) => *c += delta,
-            _ => debug_assert!(false, "metric {name:?} is not a counter"),
-        }
+        self.update(
+            name,
+            labels,
+            || Metric::Counter(0),
+            |m| match m {
+                Metric::Counter(c) => *c += delta,
+                _ => debug_assert!(false, "metric {name:?} is not a counter"),
+            },
+        );
     }
 
     /// Sets a gauge to `v` (last write wins).
     pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
-        let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(&key).lock().expect("metrics shard poisoned");
-        match shard.entry(key).or_insert(Metric::Gauge(0.0)) {
-            Metric::Gauge(g) => *g = v,
-            _ => debug_assert!(false, "metric {name:?} is not a gauge"),
-        }
+        self.update(
+            name,
+            labels,
+            || Metric::Gauge(0.0),
+            |m| match m {
+                Metric::Gauge(g) => *g = v,
+                _ => debug_assert!(false, "metric {name:?} is not a gauge"),
+            },
+        );
     }
 
     /// Records `v` into a histogram.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], v: f64) {
-        let key = MetricKey::new(name, labels);
-        let mut shard = self.shard(&key).lock().expect("metrics shard poisoned");
-        match shard.entry(key).or_insert_with(|| Metric::Hist(Hist::new())) {
-            Metric::Hist(h) => h.observe(v),
-            _ => debug_assert!(false, "metric {name:?} is not a histogram"),
-        }
+        self.update(
+            name,
+            labels,
+            || Metric::Hist(Hist::new()),
+            |m| match m {
+                Metric::Hist(h) => h.observe(v),
+                _ => debug_assert!(false, "metric {name:?} is not a histogram"),
+            },
+        );
     }
 
     /// A deterministic (sorted) point-in-time copy of every metric.
@@ -199,18 +299,7 @@ impl Registry {
                 match metric {
                     Metric::Counter(c) => counters.push((key.clone(), *c)),
                     Metric::Gauge(g) => gauges.push((key.clone(), *g)),
-                    Metric::Hist(h) => histograms.push((
-                        key.clone(),
-                        HistSnapshot {
-                            count: h.count,
-                            sum: h.sum,
-                            min: if h.count == 0 { 0.0 } else { h.min },
-                            max: if h.count == 0 { 0.0 } else { h.max },
-                            p50: h.quantile(0.50),
-                            p95: h.quantile(0.95),
-                            p99: h.quantile(0.99),
-                        },
-                    )),
+                    Metric::Hist(h) => histograms.push((key.clone(), h.snapshot())),
                 }
             }
         }

@@ -1,0 +1,155 @@
+//! Prometheus text-format exporter (exposition format 0.0.4) over
+//! [`crate::metrics::MetricsSnapshot`], so external scrapers can consume
+//! the same registry the JSON/table exporters read.
+//!
+//! Counters and gauges map directly; histograms export as summaries —
+//! `quantile="0.5"/"0.95"/"0.99"` sample lines plus `_sum`/`_count` — since
+//! our quantiles are computed registry-side from the log buckets. Metric
+//! names are sanitized to the Prometheus charset (anything outside
+//! `[a-zA-Z0-9_:]` becomes `_`, a leading digit gains a `_` prefix), label
+//! values are escaped per the spec, and the snapshot's sorted order keeps
+//! each family's samples contiguous so one `# TYPE` line per family
+//! suffices.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricKey, MetricsSnapshot};
+
+/// `name` with every non-`[a-zA-Z0-9_:]` byte replaced by `_` (and a `_`
+/// prefix when it would start with a digit).
+fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(ch),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(ch);
+            }
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` including `extra` pairs appended after the key's
+/// own labels; empty string when there are none.
+fn label_block(key: &MetricKey, extra: &[(&str, &str)]) -> String {
+    if key.labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in key.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied()) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+fn write_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn type_line(out: &mut String, last_family: &mut String, family: &str, kind: &str) {
+    if family != last_family {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+        *last_family = family.to_string();
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (key, c) in &snapshot.counters {
+        let family = sanitize_name(&key.name);
+        type_line(&mut out, &mut last_family, &family, "counter");
+        let _ = writeln!(out, "{family}{} {c}", label_block(key, &[]));
+    }
+    for (key, g) in &snapshot.gauges {
+        let family = sanitize_name(&key.name);
+        type_line(&mut out, &mut last_family, &family, "gauge");
+        let _ = write!(out, "{family}{} ", label_block(key, &[]));
+        write_value(&mut out, *g);
+        out.push('\n');
+    }
+    for (key, h) in &snapshot.histograms {
+        let family = sanitize_name(&key.name);
+        type_line(&mut out, &mut last_family, &family, "summary");
+        for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+            let _ = write!(out, "{family}{} ", label_block(key, &[("quantile", q)]));
+            write_value(&mut out, v);
+            out.push('\n');
+        }
+        let _ = write!(out, "{family}_sum{} ", label_block(key, &[]));
+        write_value(&mut out, h.sum);
+        out.push('\n');
+        let _ = writeln!(out, "{family}_count{} {}", label_block(key, &[]), h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsCtx;
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_name("xr_eval.method.step.ms"), "xr_eval_method_step_ms");
+        assert_eq!(sanitize_name("a:b_c9"), "a:b_c9");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("sweep.pair-tests"), "sweep_pair_tests");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds_with_one_type_line_per_family() {
+        let ctx = ObsCtx::new(true, false);
+        let _g = ctx.install();
+        crate::counter_add("prom.calls", &[("method", "a")], 3);
+        crate::counter_add("prom.calls", &[("method", "b")], 4);
+        crate::gauge_set("prom.level", &[], 0.5);
+        crate::observe("prom.step.ms", &[], 2.0);
+        crate::observe("prom.step.ms", &[], 4.0);
+        let text = render(&ctx.registry.snapshot());
+        assert_eq!(text.matches("# TYPE prom_calls counter").count(), 1);
+        assert!(text.contains("prom_calls{method=\"a\"} 3"));
+        assert!(text.contains("prom_calls{method=\"b\"} 4"));
+        assert!(text.contains("# TYPE prom_level gauge"));
+        assert!(text.contains("prom_level 0.5"));
+        assert!(text.contains("# TYPE prom_step_ms summary"));
+        assert!(text.contains("prom_step_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("prom_step_ms{quantile=\"0.99\"}"));
+        assert!(text.contains("prom_step_ms_sum 6"));
+        assert!(text.contains("prom_step_ms_count 2"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let ctx = ObsCtx::new(true, false);
+        let _g = ctx.install();
+        crate::counter_add("prom.esc", &[("k", "a\"b\\c\nd")], 1);
+        let text = render(&ctx.registry.snapshot());
+        assert!(text.contains(r#"prom_esc{k="a\"b\\c\nd"} 1"#));
+    }
+}

@@ -1,0 +1,335 @@
+//! Always-on flight recorder: a bounded, lock-sharded ring of the most
+//! recent spans and events, kept in constant memory so it can run on every
+//! instrumented process and be dumped *after the fact* — on panic, on a
+//! sustained SLO breach, or on demand via `AFTER_FLIGHT_DUMP`.
+//!
+//! Unlike [`crate::trace::TraceSink`] (opt-in, unbounded-ish, keeps span
+//! arguments), the recorder trades detail for cost: events carry only a
+//! static name, phase, timestamps, and thread id — no argument formatting,
+//! no allocation past the ring's one-time fill — and land in one of a few
+//! mutex shards picked by thread id, so concurrent workers rarely contend.
+//! When the ring is full the oldest event in the shard is overwritten;
+//! [`FlightRecorder::total_recorded`] keeps the true count so dumps state
+//! how much history was discarded.
+//!
+//! Every [`crate::ObsCtx`] owns a recorder and every span/instant records
+//! into it, which is what makes post-mortem dumps possible without having
+//! asked for tracing up front. Dumps use the same Chrome/Perfetto JSON shape
+//! as the trace exporter.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::trace::current_tid;
+
+/// Env var enabling flight dumps: `1` for the default `flight.json`, any
+/// other non-empty value as an explicit path.
+pub const FLIGHT_DUMP_ENV: &str = "AFTER_FLIGHT_DUMP";
+
+/// Default dump path when [`FLIGHT_DUMP_ENV`] is `1`.
+pub const DEFAULT_DUMP_PATH: &str = "flight.json";
+
+/// Mutex shards; thread id picks the shard, so single-threaded recording
+/// never contends and scoped workers spread across shards.
+const SHARDS: usize = 8;
+
+/// Default total event capacity across all shards. At 48 bytes per event
+/// this bounds the recorder below 1 MiB.
+pub const DEFAULT_CAPACITY: usize = 16384;
+
+/// One recorded event — the argument-free subset of
+/// [`crate::trace::TraceEvent`].
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Span or event name.
+    pub name: &'static str,
+    /// `'X'` = complete span, `'i'` = instant.
+    pub phase: char,
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: f64,
+    /// Per-thread track id.
+    pub tid: u64,
+}
+
+struct Ring {
+    /// Grows once up to the per-shard cap, then wraps.
+    buf: Vec<FlightEvent>,
+    /// Index of the oldest event once the ring is full.
+    head: usize,
+    /// Events ever pushed into this shard.
+    total: u64,
+}
+
+impl Ring {
+    fn push(&mut self, cap: usize, event: FlightEvent) {
+        if self.buf.len() < cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % cap;
+        }
+        self.total += 1;
+    }
+
+    /// Events oldest-first.
+    fn ordered(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+/// The bounded ring of recent spans/events. See the module docs.
+pub struct FlightRecorder {
+    epoch: Instant,
+    shards: Vec<Mutex<Ring>>,
+    per_shard_cap: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining roughly `total_capacity` events (rounded up to a
+    /// multiple of the shard count).
+    pub fn with_capacity(total_capacity: usize) -> FlightRecorder {
+        let per_shard_cap = total_capacity.div_ceil(SHARDS).max(1);
+        FlightRecorder {
+            epoch: Instant::now(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Ring { buf: Vec::new(), head: 0, total: 0 })).collect(),
+            per_shard_cap,
+        }
+    }
+
+    /// Microseconds since the recorder's epoch.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn push(&self, event: FlightEvent) {
+        let shard = (event.tid as usize) % SHARDS;
+        let mut ring = self.shards[shard].lock().expect("flight shard poisoned");
+        ring.push(self.per_shard_cap, event);
+    }
+
+    /// Records a completed span of `dur_us` microseconds ending now.
+    pub fn record_complete(&self, name: &'static str, dur_us: f64) {
+        let now = self.now_us();
+        self.push(FlightEvent {
+            name,
+            phase: 'X',
+            ts_us: (now - dur_us).max(0.0),
+            dur_us,
+            tid: current_tid(),
+        });
+    }
+
+    /// Records an instant event.
+    pub fn record_instant(&self, name: &'static str) {
+        self.push(FlightEvent { name, phase: 'i', ts_us: self.now_us(), dur_us: 0.0, tid: current_tid() });
+    }
+
+    /// Events currently retained (≤ [`Self::capacity`]).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("flight shard poisoned").buf.len()).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum retained events across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * SHARDS
+    }
+
+    /// Events ever recorded, including those since overwritten.
+    pub fn total_recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().expect("flight shard poisoned").total).sum()
+    }
+
+    /// The retained events sorted by `(tid, ts)` — deterministic given
+    /// identical recorded timings, like the trace exporter.
+    pub fn events_sorted(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let ring = s.lock().expect("flight shard poisoned");
+                ring.ordered().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        events.sort_by(|a, b| {
+            a.tid.cmp(&b.tid).then(a.ts_us.partial_cmp(&b.ts_us).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        events
+    }
+
+    /// Exports the retained window in Chrome trace-event format (loadable
+    /// by `chrome://tracing` and Perfetto), with `flightTotalRecorded` /
+    /// `flightCapacity` stating how much history the ring covered.
+    pub fn to_chrome_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .events_sorted()
+            .iter()
+            .map(|e| {
+                let row = Json::obj()
+                    .set("name", e.name)
+                    .set("ph", e.phase.to_string())
+                    .set("ts", e.ts_us)
+                    .set("pid", 1u64)
+                    .set("tid", e.tid);
+                if e.phase == 'X' {
+                    row.set("dur", e.dur_us)
+                } else {
+                    row.set("s", "t")
+                }
+            })
+            .collect();
+        Json::obj()
+            .set("traceEvents", Json::Arr(rows))
+            .set("displayTimeUnit", "ms")
+            .set("flightTotalRecorded", self.total_recorded())
+            .set("flightCapacity", self.capacity() as u64)
+    }
+}
+
+/// The dump path configured by [`FLIGHT_DUMP_ENV`], if any.
+pub fn env_dump_path() -> Option<PathBuf> {
+    match std::env::var(FLIGHT_DUMP_ENV) {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" => Some(PathBuf::from(DEFAULT_DUMP_PATH)),
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => None,
+    }
+}
+
+/// Dumps the installed context's flight recorder to `path`, tagging the
+/// file with `reason`. `false` when no context is installed or the write
+/// failed (reported to stderr — dumps happen on already-failing paths, so
+/// they must not panic).
+pub fn dump_to(path: &std::path::Path, reason: &str) -> bool {
+    let Some(ctx) = crate::current_ctx() else { return false };
+    let doc = ctx.recorder.to_chrome_json().set("flightDumpReason", reason);
+    match crate::meta::write_atomic(path, &doc.compact()) {
+        Ok(()) => {
+            eprintln!(
+                "[flight] dumped {} events to {} (reason: {reason})",
+                ctx.recorder.len(),
+                path.display()
+            );
+            true
+        }
+        Err(err) => {
+            eprintln!("[flight] dump to {} failed: {err}", path.display());
+            false
+        }
+    }
+}
+
+/// Dumps to the [`FLIGHT_DUMP_ENV`]-configured path; a no-op when the env
+/// var requests no dump.
+pub fn dump_to_env_path(reason: &str) -> bool {
+    match env_dump_path() {
+        Some(path) => dump_to(&path, reason),
+        None => false,
+    }
+}
+
+static PANIC_HOOK: OnceLock<()> = OnceLock::new();
+static PANIC_DUMPED: AtomicBool = AtomicBool::new(false);
+
+/// Installs (once per process) a panic hook that dumps the panicking
+/// thread's flight recorder to the [`FLIGHT_DUMP_ENV`] path before the
+/// previous hook runs. Idempotent.
+pub fn install_panic_hook() {
+    PANIC_HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_DUMPED.swap(true, Ordering::SeqCst) {
+                dump_to_env_path("panic");
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_exact() {
+        // single-threaded: every event lands in one shard, whose cap is
+        // ceil(32/8) = 4
+        let rec = FlightRecorder::with_capacity(32);
+        assert_eq!(rec.capacity(), 32);
+        let names = ["e0", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+        for name in names {
+            rec.record_instant(name);
+        }
+        assert_eq!(rec.len(), 4, "one shard retains exactly its cap");
+        assert_eq!(rec.total_recorded(), 10);
+        let kept: Vec<&str> = rec.events_sorted().iter().map(|e| e.name).collect();
+        assert_eq!(kept, vec!["e6", "e7", "e8", "e9"], "exactly the newest events survive, in order");
+    }
+
+    #[test]
+    fn complete_spans_back_date_their_start() {
+        let rec = FlightRecorder::default();
+        rec.record_complete("span.a", 1500.0);
+        let events = rec.events_sorted();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].phase, 'X');
+        assert_eq!(events[0].dur_us, 1500.0);
+        // a duration longer than the recorder's lifetime clamps to the epoch
+        assert_eq!(events[0].ts_us, 0.0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record_complete("span.b", 100.0);
+        let events = rec.events_sorted();
+        let b = events.iter().find(|e| e.name == "span.b").unwrap();
+        assert!(b.ts_us > 0.0 && b.ts_us + b.dur_us <= rec.now_us());
+    }
+
+    #[test]
+    fn chrome_export_parses_and_reports_totals() {
+        let rec = FlightRecorder::with_capacity(8);
+        for _ in 0..20 {
+            rec.record_instant("e");
+        }
+        rec.record_complete("s", 10.0);
+        let doc = rec.to_chrome_json();
+        assert!(Json::parse(&doc.compact()).is_ok());
+        assert_eq!(doc.get("flightTotalRecorded").and_then(Json::as_f64), Some(21.0));
+        assert_eq!(doc.get("flightCapacity").and_then(Json::as_f64), Some(8.0));
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert!(events.len() <= 8);
+    }
+
+    #[test]
+    fn dump_roundtrip_through_installed_ctx() {
+        let ctx = crate::ObsCtx::new(false, false);
+        let _g = ctx.install();
+        ctx.recorder.record_instant("dump.me");
+        let dir = std::env::temp_dir().join(format!("xr_obs_flight_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        assert!(dump_to(&path, "test"));
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("flightDumpReason").and_then(Json::as_str), Some("test"));
+        assert!(!doc.get("traceEvents").and_then(Json::as_arr).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_without_context_reports_false() {
+        assert!(!dump_to(std::path::Path::new("/nonexistent/flight.json"), "test"));
+    }
+}

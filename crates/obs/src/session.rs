@@ -1,27 +1,43 @@
 //! Session activation: env vars, CLI flags, and end-of-run file export.
 //!
 //! Binaries opt in with one line — `let _obs = xr_obs::init_cli_env();` —
-//! which reads `AFTER_TRACE=path.json` / `AFTER_METRICS=path.json` and the
-//! `--trace[=path]` / `--metrics[=path]` CLI flags, installs a matching
-//! [`ObsCtx`] on the main thread, and writes the requested files when the
-//! session drops (or [`ObsSession::finish`] is called explicitly).
+//! which reads the `AFTER_TRACE` / `AFTER_METRICS` / `AFTER_PROM` /
+//! `AFTER_SLO_BUDGET_MS` / `AFTER_FLIGHT_DUMP` env vars and the matching
+//! `--trace[=path]` / `--metrics[=path]` / `--prom[=path]` /
+//! `--slo-budget-ms=X` / `--flight-dump[=path]` CLI flags, installs a
+//! matching [`ObsCtx`] on the main thread, and writes the requested files
+//! when the session drops (or [`ObsSession::finish`] is called explicitly).
+//!
+//! Flag values are written through to their env vars at [`ObsSession::start`]
+//! so downstream components that self-configure from the environment (the
+//! `SceneEngine`'s SLO tracker, the panic-hook flight dump) see the same
+//! settings regardless of which spelling the user chose.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use crate::{InstallGuard, ObsCtx};
+use crate::meta::write_atomic;
+use crate::{recorder, slo, InstallGuard, ObsCtx};
 
 /// Resolved activation options.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsOptions {
     /// Chrome-trace output path, when tracing was requested.
     pub trace_path: Option<PathBuf>,
     /// Metrics JSON output path, when metrics were requested.
     pub metrics_path: Option<PathBuf>,
+    /// Prometheus text-format output path, when requested.
+    pub prom_path: Option<PathBuf>,
+    /// Per-tick latency budget in milliseconds, when SLO tracking was
+    /// requested.
+    pub slo_budget_ms: Option<f64>,
+    /// Flight-recorder dump path (written on finish, panic, or sustained
+    /// SLO breach), when requested.
+    pub flight_dump_path: Option<PathBuf>,
 }
 
 impl ObsOptions {
-    /// Options from `AFTER_TRACE` / `AFTER_METRICS` alone.
+    /// Options from the `AFTER_*` env vars alone.
     pub fn from_env() -> ObsOptions {
         let path_var = |name: &str| -> Option<PathBuf> {
             match std::env::var(name) {
@@ -29,12 +45,20 @@ impl ObsOptions {
                 _ => None,
             }
         };
-        ObsOptions { trace_path: path_var("AFTER_TRACE"), metrics_path: path_var("AFTER_METRICS") }
+        ObsOptions {
+            trace_path: path_var("AFTER_TRACE"),
+            metrics_path: path_var("AFTER_METRICS"),
+            prom_path: path_var("AFTER_PROM"),
+            slo_budget_ms: slo::SloConfig::from_env().map(|c| c.budget_ms),
+            flight_dump_path: recorder::env_dump_path(),
+        }
     }
 
     /// Options from env vars plus CLI flags (flags win). Recognized flags:
-    /// `--trace`, `--trace=PATH`, `--metrics`, `--metrics=PATH`; the bare
-    /// forms default to `trace.json` / `metrics.json` in the working
+    /// `--trace`, `--trace=PATH`, `--metrics`, `--metrics=PATH`, `--prom`,
+    /// `--prom=PATH`, `--slo-budget-ms=MS`, `--flight-dump`,
+    /// `--flight-dump=PATH`; the bare forms default to `trace.json` /
+    /// `metrics.json` / `metrics.prom` / `flight.json` in the working
     /// directory. Unrelated arguments are ignored.
     pub fn from_args_and_env<I, S>(args: I) -> ObsOptions
     where
@@ -52,14 +76,28 @@ impl ObsOptions {
                 opts.metrics_path = Some(PathBuf::from("metrics.json"));
             } else if let Some(path) = arg.strip_prefix("--metrics=") {
                 opts.metrics_path = Some(PathBuf::from(path));
+            } else if arg == "--prom" {
+                opts.prom_path = Some(PathBuf::from("metrics.prom"));
+            } else if let Some(path) = arg.strip_prefix("--prom=") {
+                opts.prom_path = Some(PathBuf::from(path));
+            } else if let Some(ms) = arg.strip_prefix("--slo-budget-ms=") {
+                opts.slo_budget_ms = ms.parse::<f64>().ok().filter(|b| *b > 0.0 && b.is_finite());
+            } else if arg == "--flight-dump" {
+                opts.flight_dump_path = Some(PathBuf::from(recorder::DEFAULT_DUMP_PATH));
+            } else if let Some(path) = arg.strip_prefix("--flight-dump=") {
+                opts.flight_dump_path = Some(PathBuf::from(path));
             }
         }
         opts
     }
 
-    /// `true` when neither sink was requested.
+    /// `true` when no sink or tracking feature was requested.
     pub fn is_empty(&self) -> bool {
-        self.trace_path.is_none() && self.metrics_path.is_none()
+        self.trace_path.is_none()
+            && self.metrics_path.is_none()
+            && self.prom_path.is_none()
+            && self.slo_budget_ms.is_none()
+            && self.flight_dump_path.is_none()
     }
 }
 
@@ -85,10 +123,22 @@ impl ObsSession {
     /// Builds and installs a context per `options` on the current thread.
     /// With empty options this is [`ObsSession::disabled`].
     pub fn start(options: ObsOptions) -> ObsSession {
+        crate::meta::process_start();
         if options.is_empty() {
             return ObsSession::disabled();
         }
-        let ctx = ObsCtx::new(options.metrics_path.is_some(), options.trace_path.is_some());
+        // write flag-sourced settings through to the env so components that
+        // self-configure from it (SceneEngine SLO tracker, panic hook, eval
+        // runner) see them; env-sourced values round-trip unchanged
+        if let Some(budget) = options.slo_budget_ms {
+            std::env::set_var(slo::SLO_BUDGET_ENV, format!("{budget}"));
+        }
+        if let Some(path) = &options.flight_dump_path {
+            std::env::set_var(recorder::FLIGHT_DUMP_ENV, path.as_os_str());
+            recorder::install_panic_hook();
+        }
+        let metrics = options.metrics_path.is_some() || options.prom_path.is_some();
+        let ctx = ObsCtx::new(metrics, options.trace_path.is_some());
         let guard = ctx.install();
         ObsSession { ctx: Some(ctx), options, finished: false, _guard: Some(guard) }
     }
@@ -109,7 +159,9 @@ impl ObsSession {
     }
 
     /// Writes the requested export files (idempotent; also runs on drop).
-    /// Reports each written path — or a write failure — on stderr.
+    /// Reports each written path — or a write failure — on stderr. All
+    /// writes are atomic (temp file + rename), so a crash mid-export never
+    /// leaves a truncated file.
     pub fn finish(&mut self) {
         if self.finished {
             return;
@@ -119,10 +171,23 @@ impl ObsSession {
         if let (Some(path), Some(trace)) = (&self.options.trace_path, &ctx.trace) {
             write_report(path, &trace.to_chrome_json().compact(), "trace");
         }
-        if let Some(path) = &self.options.metrics_path {
-            if ctx.metrics_on {
-                write_report(path, &ctx.registry.snapshot().to_json().pretty(), "metrics");
+        if ctx.metrics_on {
+            if let Some(path) = &self.options.metrics_path {
+                let doc = ctx
+                    .registry
+                    .snapshot()
+                    .to_json()
+                    .set("timeseries", ctx.series.snapshot().to_json())
+                    .set("meta", crate::meta::run_metadata());
+                write_report(path, &doc.pretty(), "metrics");
             }
+            if let Some(path) = &self.options.prom_path {
+                write_report(path, &crate::prometheus::render(&ctx.registry.snapshot()), "prometheus");
+            }
+        }
+        if let Some(path) = &self.options.flight_dump_path {
+            let doc = ctx.recorder.to_chrome_json().set("flightDumpReason", "finish");
+            write_report(path, &doc.compact(), "flight");
         }
     }
 }
@@ -134,14 +199,14 @@ impl Drop for ObsSession {
 }
 
 fn write_report(path: &Path, contents: &str, what: &str) {
-    match std::fs::write(path, contents) {
+    match write_atomic(path, contents) {
         Ok(()) => eprintln!("[{what} written to {}]", path.display()),
         Err(e) => eprintln!("warning: cannot write {what} to {}: {e}", path.display()),
     }
 }
 
-/// Activates observability from `AFTER_TRACE` / `AFTER_METRICS` alone (no
-/// CLI parsing) — for tests and library embedders.
+/// Activates observability from the `AFTER_*` env vars alone (no CLI
+/// parsing) — for tests and library embedders.
 pub fn init_from_env() -> ObsSession {
     ObsSession::start(ObsOptions::from_env())
 }
@@ -167,6 +232,22 @@ mod tests {
     }
 
     #[test]
+    fn slo_prom_and_flight_flags_parse() {
+        let opts =
+            ObsOptions::from_args_and_env(["--slo-budget-ms=12.5", "--prom=p.prom", "--flight-dump=f.json"]);
+        assert_eq!(opts.slo_budget_ms, Some(12.5));
+        assert_eq!(opts.prom_path.as_deref(), Some(Path::new("p.prom")));
+        assert_eq!(opts.flight_dump_path.as_deref(), Some(Path::new("f.json")));
+        assert!(!opts.is_empty());
+        let opts = ObsOptions::from_args_and_env(["--prom", "--flight-dump"]);
+        assert_eq!(opts.prom_path.as_deref(), Some(Path::new("metrics.prom")));
+        assert_eq!(opts.flight_dump_path.as_deref(), Some(Path::new("flight.json")));
+        // non-positive budgets are rejected, not propagated
+        let opts = ObsOptions::from_args_and_env(["--slo-budget-ms=0"]);
+        assert_eq!(opts.slo_budget_ms, None);
+    }
+
+    #[test]
     fn empty_options_mean_disabled_session() {
         let session = ObsSession::start(ObsOptions::default());
         assert!(!session.active());
@@ -178,13 +259,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let trace_path = dir.join("t.json");
         let metrics_path = dir.join("m.json");
+        let prom_path = dir.join("m.prom");
         {
             let mut session = ObsSession::start(ObsOptions {
                 trace_path: Some(trace_path.clone()),
                 metrics_path: Some(metrics_path.clone()),
+                prom_path: Some(prom_path.clone()),
+                ..ObsOptions::default()
             });
             assert!(session.active());
             crate::counter_add("s.calls", &[], 3);
+            crate::series_observe("s.tick.ms", &[], 0, 1.0);
             {
                 let _span = crate::span!("s.phase");
             }
@@ -195,9 +280,18 @@ mod tests {
             metrics.get("counters").and_then(|c| c.get("s.calls")).and_then(crate::Json::as_f64),
             Some(3.0)
         );
+        // the new self-describing sections ride along
+        assert!(metrics.get("meta").and_then(|m| m.get("wall_clock_utc")).is_some());
+        assert!(metrics
+            .get("timeseries")
+            .and_then(|t| t.get("series"))
+            .and_then(|s| s.get("s.tick.ms"))
+            .is_some());
         let trace = crate::Json::parse(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
         let events = trace.get("traceEvents").and_then(crate::Json::as_arr).unwrap();
         assert!(events.iter().any(|e| e.get("name").and_then(crate::Json::as_str) == Some("s.phase")));
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("s_calls 3"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

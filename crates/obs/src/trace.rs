@@ -28,7 +28,7 @@ thread_local! {
 
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
-fn current_tid() -> u64 {
+pub(crate) fn current_tid() -> u64 {
     THREAD_ID.with(|id| *id)
 }
 
@@ -196,8 +196,10 @@ impl Span {
         Span::enter_with(name, Vec::new)
     }
 
-    /// Opens a span, calling `args` to format arguments only when a context
-    /// is installed — argument construction is free on the no-op path.
+    /// Opens a span, calling `args` to format arguments only when a trace
+    /// sink will consume them — argument construction is free on the no-op
+    /// path and on the always-on recorder/metrics path (trace off), so hot
+    /// spans may format freely.
     pub fn enter_with<F>(name: &'static str, args: F) -> Span
     where
         F: FnOnce() -> Vec<(&'static str, String)>,
@@ -206,8 +208,11 @@ impl Span {
             None => Span { inner: None },
             Some(ctx) => {
                 SPAN_STACK.with(|s| s.borrow_mut().push(name));
-                let start_us = ctx.trace.as_ref().map(|t| t.now_us()).unwrap_or(0.0);
-                Span { inner: Some(SpanInner { name, start: Instant::now(), start_us, args: args(), ctx }) }
+                let (start_us, args) = match ctx.trace.as_ref() {
+                    Some(trace) => (trace.now_us(), args()),
+                    None => (0.0, Vec::new()),
+                };
+                Span { inner: Some(SpanInner { name, start: Instant::now(), start_us, args, ctx }) }
             }
         }
     }
@@ -225,6 +230,7 @@ impl Drop for Span {
             s.borrow_mut().pop();
         });
         let elapsed_ms = inner.start.elapsed().as_secs_f64() * 1e3;
+        inner.ctx.recorder.record_complete(inner.name, elapsed_ms * 1e3);
         if let Some(trace) = &inner.ctx.trace {
             trace.complete(inner.name, inner.start_us, inner.args);
         }

@@ -172,6 +172,9 @@ pub struct SceneEngine {
     /// `slot_of[v]` is the slot index of viewer `v`, if registered.
     slot_of: Vec<Option<usize>>,
     states: Vec<SceneState>,
+    /// Per-tick deadline tracking, when `AFTER_SLO_BUDGET_MS` (or
+    /// [`SceneEngine::set_slo`]) configured a budget.
+    slo: Option<xr_obs::SloTracker>,
 }
 
 impl SceneEngine {
@@ -194,7 +197,15 @@ impl SceneEngine {
             }
         }
         let converter = OcclusionConverter::new(config.body_radius);
-        SceneEngine { converter, config, n, viewers: unique, slot_of, states: Vec::new() }
+        SceneEngine {
+            converter,
+            config,
+            n,
+            viewers: unique,
+            slot_of,
+            states: Vec::new(),
+            slo: xr_obs::SloTracker::from_env("session.tick"),
+        }
     }
 
     /// An engine over a sampled scenario's constants (frames still have to
@@ -228,6 +239,17 @@ impl SceneEngine {
         self.states.len()
     }
 
+    /// Installs (or clears) a per-tick deadline tracker, overriding the
+    /// env-configured default.
+    pub fn set_slo(&mut self, slo: Option<xr_obs::SloTracker>) {
+        self.slo = slo;
+    }
+
+    /// The active deadline tracker, if any.
+    pub fn slo(&self) -> Option<&xr_obs::SloTracker> {
+        self.slo.as_ref()
+    }
+
     /// Ingests one frame, computing the tick's shared [`SceneState`].
     /// Returns the tick index the frame landed on.
     ///
@@ -237,6 +259,8 @@ impl SceneEngine {
     pub fn push(&mut self, frame: Frame) -> usize {
         let t = self.states.len();
         let _span = xr_obs::span!("session.tick", t = t, n = self.n, viewers = self.viewers.len());
+        // Instant::now only when someone will read the measurement
+        let tick_start = self.slo.as_ref().map(|_| std::time::Instant::now());
         assert_eq!(frame.positions.len(), self.n, "frame has wrong participant count");
         let positions = frame.positions;
         let distances = pairwise_distances(&positions);
@@ -263,6 +287,16 @@ impl SceneEngine {
         xr_obs::counter_add("session.sweep.pair_tests_saved", &[], brute.saturating_sub(pair_tests));
 
         self.states.push(SceneState { n: self.n, positions, distances, occlusion, candidate_mask });
+        if let (Some(slo), Some(start)) = (&mut self.slo, tick_start) {
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            slo.record(t as u64, elapsed_ms);
+            xr_obs::series_observe(
+                "session.tick.ms",
+                &[],
+                t as u64 / slo.config().series_window_ticks,
+                elapsed_ms,
+            );
+        }
         t
     }
 
@@ -432,6 +466,54 @@ mod tests {
         let config = SceneConfig { body_radius, mr_mask, room_diagonal: 10.0 };
         let viewers: Vec<usize> = (0..n).collect();
         SceneEngine::new(n, config, &viewers)
+    }
+
+    #[test]
+    fn slo_tracker_counts_every_tick_over_a_zero_budget() {
+        // a (near-)zero budget makes every real tick a deadline miss — the
+        // engine-level injected-breach case without sleeping
+        let ctx = xr_obs::ObsCtx::new(true, false);
+        let _g = ctx.install();
+        let mut engine = engine_for(12, 2, 0.25);
+        engine.set_slo(Some(xr_obs::SloTracker::new("session.tick", xr_obs::SloConfig::new(1e-9), &[])));
+        for t in 0..5u64 {
+            engine.push(Frame::new(random_positions(12, 8.0, t)));
+        }
+        let slo = engine.slo().unwrap();
+        assert_eq!(slo.ticks(), 5);
+        assert_eq!(slo.misses(), 5, "every tick must overrun a 1ns budget");
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("slo.session.tick.deadline_miss"), Some(5));
+        // the windowed latency series recorded under the engine's window
+        let series = xr_obs::series_snapshot().unwrap();
+        assert!(series.series("session.tick.ms").is_some());
+    }
+
+    #[test]
+    fn slo_tracker_stays_silent_under_a_huge_budget() {
+        let ctx = xr_obs::ObsCtx::new(true, false);
+        let _g = ctx.install();
+        let mut engine = engine_for(12, 2, 0.25);
+        engine.set_slo(Some(xr_obs::SloTracker::new("session.tick", xr_obs::SloConfig::new(1e9), &[])));
+        for t in 0..5u64 {
+            engine.push(Frame::new(random_positions(12, 8.0, t)));
+        }
+        assert_eq!(engine.slo().unwrap().misses(), 0);
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("slo.session.tick.deadline_miss"), None);
+        assert_eq!(snap.counter("slo.session.tick.ticks"), Some(5));
+    }
+
+    #[test]
+    fn no_budget_means_no_slo_metrics() {
+        let ctx = xr_obs::ObsCtx::new(true, false);
+        let _g = ctx.install();
+        let mut engine = engine_for(8, 2, 0.25);
+        engine.set_slo(None);
+        engine.push(Frame::new(random_positions(8, 8.0, 1)));
+        let snap = ctx.registry.snapshot();
+        assert_eq!(snap.counter("slo.session.tick.ticks"), None);
+        assert_eq!(snap.counter("session.ticks"), Some(1), "normal telemetry unaffected");
     }
 
     #[test]

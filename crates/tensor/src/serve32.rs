@@ -36,17 +36,22 @@ pub const LANES: usize = 8;
 pub fn simd_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
-        if std::env::var("AFTER_NO_SIMD").map(|v| v == "1").unwrap_or(false) {
-            return false;
-        }
-        #[cfg(target_arch = "x86_64")]
-        {
-            is_x86_feature_detected!("avx2")
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        {
-            false
-        }
+        let enabled = 'detect: {
+            if std::env::var("AFTER_NO_SIMD").map(|v| v == "1").unwrap_or(false) {
+                break 'detect false;
+            }
+            #[cfg(target_arch = "x86_64")]
+            {
+                is_x86_feature_detected!("avx2")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        };
+        // self-describing metadata: perf artifacts state which leg they ran
+        xr_obs::meta::record_fact("simd_enabled", enabled);
+        enabled
     })
 }
 
@@ -204,8 +209,13 @@ pub fn matmul_f32(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     if m * k * n < crate::Matrix::MATMUL_DISPATCH_THRESHOLD || k < crate::Matrix::MATMUL_PACK_MIN_K {
+        // leg label mirrors the runtime condition inside matmul_chunked_f32
+        let leg = if simd_enabled() && n >= LANES { "simd" } else { "scalar" };
+        xr_obs::counter_add("xr_tensor.serve32.matmul", &[("kernel", "chunked"), ("leg", leg)], 1);
         matmul_chunked_f32(out, a, b, m, k, n);
     } else {
+        let leg = if simd_enabled() { "simd" } else { "scalar" };
+        xr_obs::counter_add("xr_tensor.serve32.matmul", &[("kernel", "packed"), ("leg", leg)], 1);
         matmul_packed_f32(out, a, b, m, k, n);
     }
 }
@@ -423,6 +433,8 @@ pub fn spmm_f32(
     dense: &[f32],
     cols: usize,
 ) {
+    let leg = if simd_enabled() && cols >= LANES { "simd" } else { "scalar" };
+    xr_obs::counter_add("xr_tensor.serve32.spmm", &[("leg", leg)], 1);
     #[cfg(target_arch = "x86_64")]
     if simd_enabled() && cols >= LANES {
         // SAFETY: simd_enabled() verified AVX2 at runtime.
