@@ -968,6 +968,229 @@ impl DiffSubject for StreamingVsPrecomputed {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serving pair: multi-room scheduler vs. sequential engines (bit-identical).
+// ---------------------------------------------------------------------------
+
+/// One room's generated serving workload.
+#[derive(Debug, Clone)]
+pub struct RoomScenario {
+    /// Participant count (frame width).
+    pub n: usize,
+    /// Registered viewers (all `< n`).
+    pub viewers: Vec<usize>,
+    /// Recommendation size.
+    pub top_k: usize,
+    /// MR participation mask.
+    pub mr_mask: Vec<bool>,
+    /// Positions per tick, `frames[t]` of length `n`.
+    pub frames: Vec<Vec<Point2>>,
+}
+
+/// A generated multi-room workload: several rooms advanced in lockstep (one
+/// frame per room per pump round) on a scheduler with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct MultiRoomCase {
+    /// The rooms (all share the same tick count).
+    pub rooms: Vec<RoomScenario>,
+    /// Scheduler worker count for this case.
+    pub workers: usize,
+}
+
+/// The multi-room scheduler ([`xr_serve::RoomServer`], no SLO budget so the
+/// degradation ladder and shedding stay inert) vs. the obvious sequential
+/// reference: one bare [`xr_session::SceneEngine`] per room fed the same
+/// frames in order, decided with the same [`xr_serve::decide_topk_f64`]
+/// rule. Every room's decision stream, distance rows (bitwise), occlusion
+/// graphs, and candidate masks must be identical regardless of how the
+/// worker pool interleaved the rooms.
+pub struct MultiRoomVsSequential;
+
+impl DiffSubject for MultiRoomVsSequential {
+    type Case = MultiRoomCase;
+
+    fn pair(&self) -> String {
+        "serve: multi-room scheduler vs sequential engines".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> MultiRoomCase {
+        let (room_count, ticks, workers) = (1usize..6, 2usize..6, 1usize..9).generate(rng);
+        let rooms = (0..room_count)
+            .map(|_| {
+                let n = (4usize..10).generate(rng);
+                let viewer_count = (1usize..4).generate(rng).min(n);
+                let mut viewers: Vec<usize> = (0..viewer_count).map(|_| (0usize..n).generate(rng)).collect();
+                viewers.sort_unstable();
+                viewers.dedup();
+                let top_k = (1usize..5).generate(rng);
+                let mr_mask: Vec<bool> = (0..n).map(|_| (0u32..2).generate(rng) == 1).collect();
+                let frames = (0..ticks)
+                    .map(|_| {
+                        (0..n)
+                            .map(|_| {
+                                let (x, y) = (-4.0f64..4.0, -4.0f64..4.0).generate(rng);
+                                Point2::new(x, y)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                RoomScenario { n, viewers, top_k, mr_mask, frames }
+            })
+            .collect();
+        MultiRoomCase { rooms, workers }
+    }
+
+    fn compare(&self, case: &MultiRoomCase) -> Option<StepDivergence> {
+        use xr_serve::{RoomConfig, RoomServer, ServerConfig};
+        use xr_session::{Frame, SceneConfig, SceneEngine};
+
+        let scene_of = |room: &RoomScenario| SceneConfig {
+            body_radius: 0.2,
+            mr_mask: room.mr_mask.clone(),
+            room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+        };
+        let ticks = case.rooms.first().map_or(0, |r| r.frames.len());
+
+        // scheduler side: admit every room, advance in lockstep
+        let mut server = RoomServer::new(ServerConfig {
+            max_rooms: case.rooms.len(),
+            workers: case.workers,
+            slo: None,
+            ..ServerConfig::default()
+        });
+        let ids: Vec<_> = case
+            .rooms
+            .iter()
+            .map(|room| {
+                let mut cfg = RoomConfig::new(room.n, scene_of(room), room.viewers.clone());
+                cfg.top_k = room.top_k;
+                cfg.retain_states = None; // keep history for the bitwise sweep
+                server.admit(cfg).expect("admission of a generated room")
+            })
+            .collect();
+        let mut scheduled: Vec<Vec<xr_serve::Decision>> = vec![Vec::new(); case.rooms.len()];
+        for t in 0..ticks {
+            for (room, id) in case.rooms.iter().zip(&ids) {
+                server.enqueue(*id, Frame::new(room.frames[t].clone()));
+            }
+            let report = server.pump();
+            for drain in report.rooms {
+                let slot = ids.iter().position(|id| *id == drain.room).unwrap();
+                scheduled[slot].extend(drain.decisions);
+            }
+        }
+
+        // sequential reference: bare engines, same frames, same decision rule
+        for (slot, room) in case.rooms.iter().enumerate() {
+            let mut engine = SceneEngine::new(room.n, scene_of(room), &room.viewers);
+            for frame in &room.frames {
+                engine.push(Frame::new(frame.clone()));
+            }
+            let viewers = engine.viewers().to_vec();
+            let got = &scheduled[slot];
+            if got.len() != ticks {
+                return Some(StepDivergence {
+                    step: slot,
+                    detail: format!(
+                        "room {slot}: scheduler produced {} decisions for {ticks} frames",
+                        got.len()
+                    ),
+                });
+            }
+            for (t, decision) in got.iter().enumerate() {
+                if decision.seq != t as u64 || decision.level != xr_serve::ServeLevel::Full {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "room {slot} t={t}: decision seq {} level {:?} (expected seq {t}, Full)",
+                            decision.seq, decision.level
+                        ),
+                    });
+                }
+                for (vi, &viewer) in viewers.iter().enumerate() {
+                    let view = engine.view(viewer, t);
+                    let expect =
+                        xr_serve::decide_topk_f64(view.candidate_mask(), view.distances(), room.top_k);
+                    if decision.per_viewer[vi] != expect {
+                        return Some(StepDivergence {
+                            step: t,
+                            detail: format!(
+                                "room {slot} viewer {viewer} t={t}: scheduler {:?} vs sequential {expect:?}",
+                                decision.per_viewer[vi]
+                            ),
+                        });
+                    }
+                    // the retained engine state itself must be bit-identical
+                    let diverged = server.with_room(ids[slot], |served| {
+                        let sv = served.engine().view(viewer, t);
+                        for (w, (a, b)) in sv.distances().iter().zip(view.distances()).enumerate() {
+                            if a.to_bits() != b.to_bits() {
+                                return Some(format!(
+                                    "room {slot} viewer {viewer} distance[{w}] at t={t}: scheduler {a:?} vs sequential {b:?}"
+                                ));
+                            }
+                        }
+                        if sv.occlusion() != view.occlusion() {
+                            return Some(format!(
+                                "room {slot} viewer {viewer} occlusion at t={t}: scheduler {:?} vs sequential {:?}",
+                                sv.occlusion(),
+                                view.occlusion()
+                            ));
+                        }
+                        if sv.candidate_mask() != view.candidate_mask() {
+                            return Some(format!(
+                                "room {slot} viewer {viewer} candidate mask at t={t}: scheduler {:?} vs sequential {:?}",
+                                sv.candidate_mask(),
+                                view.candidate_mask()
+                            ));
+                        }
+                        None
+                    });
+                    if let Some(detail) = diverged.flatten() {
+                        return Some(StepDivergence { step: t, detail });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &MultiRoomCase) -> Vec<MultiRoomCase> {
+        let mut out = Vec::new();
+        if case.rooms.len() > 1 {
+            out.push(MultiRoomCase {
+                rooms: case.rooms[..case.rooms.len() / 2].to_vec(),
+                workers: case.workers,
+            });
+        }
+        let ticks = case.rooms.first().map_or(0, |r| r.frames.len());
+        if ticks > 1 {
+            out.push(MultiRoomCase {
+                rooms: case
+                    .rooms
+                    .iter()
+                    .map(|r| RoomScenario { frames: r.frames[..ticks / 2].to_vec(), ..r.clone() })
+                    .collect(),
+                workers: case.workers,
+            });
+        }
+        if case.workers > 1 {
+            out.push(MultiRoomCase { rooms: case.rooms.clone(), workers: 1 });
+        }
+        out
+    }
+
+    fn describe(&self, case: &MultiRoomCase) -> String {
+        format!(
+            "{} rooms (n={:?}), {} ticks, {} workers",
+            case.rooms.len(),
+            case.rooms.iter().map(|r| r.n).collect::<Vec<_>>(),
+            case.rooms.first().map_or(0, |r| r.frames.len()),
+            case.workers
+        )
+    }
+}
+
 /// Rebuilds a CSR matrix from raw entries — exposed for tests that want to
 /// cross-check a subject's own comparison logic.
 pub fn csr_of(case: &SpmmCase) -> Rc<CsrAdj> {

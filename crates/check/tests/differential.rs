@@ -3,8 +3,9 @@
 //! POSHGNN recommender pair on full generated episodes.
 
 use xr_check::diff::{
-    assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, OrcaGridVsBrute, PooledVsFreshTape,
-    SerialVsParallelRunner, ServeF32VsF64, SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
+    assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, MultiRoomVsSequential, OrcaGridVsBrute,
+    PooledVsFreshTape, SerialVsParallelRunner, ServeF32VsF64, SparseVsDensePoshGnn, SpmmVsDense,
+    StreamingVsPrecomputed,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -50,6 +51,13 @@ fn poshgnn_sparse_and_dense_kernels_agree_on_whole_episodes() {
     // full pipeline per case (dataset → ORCA → MIA → model), so fewer cases
     // than the raw kernel pairs; still seeded and reproducible
     assert_no_divergence(&SparseVsDensePoshGnn::default(), 24);
+}
+
+#[test]
+fn multi_room_scheduler_matches_sequential_engines_bitwise() {
+    // no SLO budget in the generated configs, so the ladder and shedding are
+    // inert and the scheduler must be a pure reordering of sequential work
+    assert_no_divergence(&MultiRoomVsSequential, KERNEL_CASES);
 }
 
 #[test]

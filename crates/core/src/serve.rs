@@ -57,19 +57,10 @@ impl ServeLayer {
         for r in 0..rows {
             for c in 0..cols {
                 let i = r * cols + c;
-                o[i] = apply_activation(self.activation, o[i] + ne[i] + self.bias[c]);
+                o[i] = self.activation.apply_f32(o[i] + ne[i] + self.bias[c]);
             }
         }
         own
-    }
-}
-
-fn apply_activation(act: Activation, v: f32) -> f32 {
-    match act {
-        Activation::None => v,
-        Activation::Relu => v.max(0.0),
-        Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
-        Activation::Tanh => v.tanh(),
     }
 }
 
@@ -325,11 +316,11 @@ mod tests {
     #[test]
     fn activation_matches_f64_definitions() {
         for &v in &[-2.0f32, -0.5, 0.0, 0.5, 2.0] {
-            assert_eq!(apply_activation(Activation::None, v), v);
-            assert_eq!(apply_activation(Activation::Relu, v), v.max(0.0));
+            assert_eq!(Activation::None.apply_f32(v), v);
+            assert_eq!(Activation::Relu.apply_f32(v), v.max(0.0));
             let s64 = 1.0 / (1.0 + (-(v as f64)).exp());
-            assert!((apply_activation(Activation::Sigmoid, v) as f64 - s64).abs() < 1e-6);
-            assert!((apply_activation(Activation::Tanh, v) as f64 - (v as f64).tanh()).abs() < 1e-6);
+            assert!((Activation::Sigmoid.apply_f32(v) as f64 - s64).abs() < 1e-6);
+            assert!((Activation::Tanh.apply_f32(v) as f64 - (v as f64).tanh()).abs() < 1e-6);
         }
     }
 

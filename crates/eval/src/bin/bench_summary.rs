@@ -5,7 +5,7 @@
 //! scene-engine context builds, the f64-train / f32-serve recommend split,
 //! and the cost of running with observability installed vs. without.
 //!
-//! Writes one JSON summary (default `BENCH_pr7.json` at the workspace root,
+//! Writes one JSON summary (default `BENCH_pr8.json` at the workspace root,
 //! next to `Cargo.toml`; override with `--out=PATH`) via the `xr_obs` JSON
 //! exporter and prints it to stdout. All "before" numbers are the
 //! pre-overhaul code paths, which are kept callable behind flags
@@ -484,8 +484,77 @@ fn bench_obs_overhead() -> Json {
         .set("recommend_step", arm(min(&step_off), min(&step_on)))
 }
 
+/// Multi-room serving throughput: 1k+ concurrent `SceneEngine` rooms on the
+/// shared worker pool, one frame per room per pump round, with a generous
+/// SLO budget installed so the whole admission/ladder machinery is live.
+/// Reports rooms×rounds throughput and the p50/p99 of the per-frame
+/// `serve.room.tick.ms` histogram against the budget.
+fn bench_multi_room() -> Json {
+    use xr_serve::{RoomConfig, RoomServer, ServerConfig};
+    use xr_session::{Frame, SceneConfig};
+
+    const ROOMS: usize = 1024;
+    const ROUNDS: u64 = 60;
+    const ROOM_N: usize = 8;
+    const BUDGET_MS: f64 = 50.0;
+
+    // own metrics context: the serving histogram must not mix with whatever
+    // telemetry the CLI env installed for the run as a whole
+    let ctx = xr_obs::ObsCtx::new(true, false);
+    let _guard = ctx.install();
+
+    let scene = SceneConfig {
+        body_radius: 0.2,
+        mr_mask: (0..ROOM_N).map(|i| i % 2 == 0).collect(),
+        room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+    };
+    let walk_frame = |room_seed: u64, tick: u64| {
+        let mut rng = StdRng::seed_from_u64(room_seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Frame::new(
+            (0..ROOM_N).map(|_| Point2::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0))).collect(),
+        )
+    };
+
+    let mut server = RoomServer::new(ServerConfig {
+        max_rooms: ROOMS,
+        slo: Some(xr_obs::SloConfig::new(BUDGET_MS)),
+        ..ServerConfig::default()
+    });
+    let ids: Vec<_> = (0..ROOMS)
+        .map(|_| server.admit(RoomConfig::new(ROOM_N, scene.clone(), vec![0, 3])).expect("under the cap"))
+        .collect();
+
+    let start = Instant::now();
+    let mut processed = 0usize;
+    for round in 0..ROUNDS {
+        for &id in &ids {
+            server.enqueue(id, walk_frame(id.0, round));
+        }
+        processed += server.pump().frames();
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    let snapshot = xr_obs::metrics_snapshot().expect("metrics context installed");
+    let tick = snapshot.histogram("serve.room.tick.ms").expect("tick histogram exists");
+    Json::obj()
+        .set("rooms", ROOMS as u64)
+        .set("rounds", ROUNDS)
+        .set("room_n", ROOM_N as u64)
+        .set("workers", server.config().workers)
+        .set("frames", processed as u64)
+        .set("frames_per_s", num3(processed as f64 / wall_s))
+        .set("budget_ms", num3(BUDGET_MS))
+        .set("tick_p50_ms", num3(tick.p50))
+        .set("tick_p99_ms", num3(tick.p99))
+        .set("tick_max_ms", num3(tick.max))
+        .set("slo_missed", snapshot.counter("slo.serve.room.tick.deadline_miss").unwrap_or(0))
+        .set("shed_frames", stats.shed)
+        .set("degrade_transitions", stats.transitions)
+}
+
 /// Output path for the summary: `--out=PATH` (or `--out PATH`) on the
-/// command line, default `BENCH_pr7.json` at the workspace root.
+/// command line, default `BENCH_pr8.json` at the workspace root.
 fn out_path() -> std::path::PathBuf {
     let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
     let mut args = std::env::args().skip(1);
@@ -499,34 +568,36 @@ fn out_path() -> std::path::PathBuf {
             }
         }
     }
-    root.join("BENCH_pr7.json")
+    root.join("BENCH_pr8.json")
 }
 
 fn main() {
     let mut obs = xr_obs::init_cli_env();
     let path = out_path();
-    eprintln!("[1/11] blocked vs naive matmul");
+    eprintln!("[1/12] blocked vs naive matmul");
     let matmul = bench_matmul();
-    eprintln!("[2/11] sparse vs dense aggregation (SpMM)");
+    eprintln!("[2/12] sparse vs dense aggregation (SpMM)");
     let spmm = bench_spmm();
-    eprintln!("[3/11] grid vs brute-force crowd neighbors");
+    eprintln!("[3/12] grid vs brute-force crowd neighbors");
     let crowd = bench_crowd();
-    eprintln!("[4/11] POSHGNN recommend step, sparse vs dense kernels");
+    eprintln!("[4/12] POSHGNN recommend step, sparse vs dense kernels");
     let posh = bench_poshgnn_step();
-    eprintln!("[5/11] comparison runner, 1 thread vs all cores");
+    eprintln!("[5/12] comparison runner, 1 thread vs all cores");
     let runner = bench_parallel_runner();
-    eprintln!("[6/11] train epoch, MIA cache + tape arena vs uncached");
+    eprintln!("[6/12] train epoch, MIA cache + tape arena vs uncached");
     let train_epoch = bench_train_epoch();
-    eprintln!("[7/11] tape arena reuse vs fresh tape per episode");
+    eprintln!("[7/12] tape arena reuse vs fresh tape per episode");
     let tape_reuse = bench_tape_reuse();
-    eprintln!("[8/11] adaptive matmul dispatch crossover");
+    eprintln!("[8/12] adaptive matmul dispatch crossover");
     let dispatch = bench_matmul_dispatch();
-    eprintln!("[9/11] scene build, shared engine vs per-target precompute");
+    eprintln!("[9/12] scene build, shared engine vs per-target precompute");
     let scene_build = bench_scene_build();
-    eprintln!("[10/11] recommend step, f64 inference vs f32 serving");
+    eprintln!("[10/12] recommend step, f64 inference vs f32 serving");
     let recommend_serve = bench_recommend_serve();
-    eprintln!("[11/11] observability overhead, installed ctx vs none");
+    eprintln!("[11/12] observability overhead, installed ctx vs none");
     let obs_overhead = bench_obs_overhead();
+    eprintln!("[12/12] multi-room serving: 1k rooms on the worker pool");
+    let multi_room = bench_multi_room();
 
     // force SIMD detection so the fact lands in the run metadata
     let _ = xr_tensor::simd_enabled();
@@ -542,6 +613,7 @@ fn main() {
         .set("scene_build", scene_build)
         .set("recommend_serve", recommend_serve)
         .set("obs_overhead", obs_overhead)
+        .set("multi_room", multi_room)
         .set("meta", xr_obs::meta::run_metadata());
     let text = summary.pretty();
     println!("{text}");

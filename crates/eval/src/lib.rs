@@ -8,7 +8,9 @@
 //!   comparison (Tables II–IV), and the ablation runner (Table V).
 //! * [`par`] — scoped-thread work-queue parallelism for the independent
 //!   (method × scenario × seed) experiment cells; `AFTER_THREADS` overrides
-//!   the worker count, and results are identical at any thread count.
+//!   the worker count, and results are identical at any thread count. (The
+//!   implementation lives in `xr_serve::par`, shared with the multi-room
+//!   scheduler; this re-export is the stable path.)
 //! * [`userstudy`] — the 48-participant user-study simulator (Fig. 4 and
 //!   Table VIII).
 //!
@@ -26,16 +28,19 @@
 //! [`par`] propagates the caller's sink context into its workers, so cell
 //! telemetry merges into one registry regardless of `AFTER_THREADS`.
 
-pub mod par;
 pub mod report;
 pub mod runner;
 pub mod stats;
 pub mod userstudy;
 
-pub use par::{par_map_indexed, par_map_indexed_with, thread_count};
+// The worker pool moved to `xr_serve::par` when the multi-room scheduler
+// became its second consumer; re-exported here so `xr_eval::par` paths (and
+// the `AFTER_THREADS` discipline they document) keep working unchanged.
 pub use runner::{
     build_contexts, pick_targets, run_ablation, run_comparison, run_method, Comparison, ComparisonConfig,
     DelayedRecommender, MethodResult, RenderAllRecommender,
 };
 pub use stats::{mean, pearson, spearman, std_dev, variance, welch_t_test, WelchResult};
 pub use userstudy::{run_user_study, CorrelationTable, StudyOutcome, UserStudyConfig, UserStudyResult};
+pub use xr_serve::par;
+pub use xr_serve::par::{par_map_indexed, par_map_indexed_with, thread_count};

@@ -27,6 +27,19 @@ impl Activation {
         }
     }
 
+    /// The f32 serving-path evaluation of this activation — the tapeless
+    /// scalar the serve kernels (`poshgnn::serve`, degraded room serving)
+    /// apply elementwise. Kept next to the tape [`Activation::apply`] so the
+    /// train and serve nonlinearities can never drift apart silently.
+    pub fn apply_f32(&self, v: f32) -> f32 {
+        match self {
+            Activation::None => v,
+            Activation::Relu => v.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            Activation::Tanh => v.tanh(),
+        }
+    }
+
     /// The equivalent [`xr_tensor::Nonlinearity`] for fused epilogues.
     pub fn nonlinearity(&self) -> xr_tensor::Nonlinearity {
         match self {

@@ -1,0 +1,220 @@
+//! Per-room frame mailbox: a bounded SPSC-style ring with coalescing.
+//!
+//! Each room owns one [`FrameMailbox`]. The ingest side ([`enqueue`]) stamps
+//! every frame with a strictly increasing sequence number; the scheduler
+//! side ([`pop`] / [`drain_keep_newest`]) consumes frames in FIFO order.
+//! When a room falls behind — its ring is full at the next enqueue — the
+//! **oldest pending frame is coalesced away**: position frames supersede
+//! each other, so dropping the stalest one loses no information a newer
+//! frame doesn't carry. The invariants the property tests pin:
+//!
+//! * delivered sequence numbers are strictly increasing within a room, and
+//! * a coalesced-over (dropped) frame is never delivered afterwards — once
+//!   a newer frame displaced it, the stale frame is gone for good.
+//!
+//! [`enqueue`]: FrameMailbox::enqueue
+//! [`pop`]: FrameMailbox::pop
+//! [`drain_keep_newest`]: FrameMailbox::drain_keep_newest
+
+use xr_session::Frame;
+
+/// A frame plus the arrival sequence number the mailbox stamped on it.
+#[derive(Debug, Clone)]
+pub struct SeqFrame {
+    /// Arrival order within this room (0-based, never reused).
+    pub seq: u64,
+    /// The position frame itself.
+    pub frame: Frame,
+}
+
+/// What one [`FrameMailbox::enqueue`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnqueueOutcome {
+    /// Sequence number assigned to the enqueued frame.
+    pub seq: u64,
+    /// Sequence number of the stale frame this enqueue coalesced away, if
+    /// the ring was full.
+    pub coalesced: Option<u64>,
+}
+
+/// Bounded per-room frame ring. See the module docs for the coalescing
+/// contract.
+#[derive(Debug)]
+pub struct FrameMailbox {
+    slots: Box<[Option<SeqFrame>]>,
+    head: usize,
+    len: usize,
+    next_seq: u64,
+    last_delivered: Option<u64>,
+    coalesced_total: u64,
+}
+
+impl FrameMailbox {
+    /// A mailbox holding at most `capacity` pending frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> FrameMailbox {
+        assert!(capacity >= 1, "mailbox capacity must be at least 1");
+        FrameMailbox {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+            next_seq: 0,
+            last_delivered: None,
+            coalesced_total: 0,
+        }
+    }
+
+    /// Maximum pending frames.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pending frames.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no frame is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total frames coalesced away over the mailbox's lifetime.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced_total
+    }
+
+    /// Sequence number of the most recently delivered frame, if any.
+    pub fn last_delivered(&self) -> Option<u64> {
+        self.last_delivered
+    }
+
+    /// Stamps `frame` with the next sequence number and appends it. When the
+    /// ring is full, the oldest pending frame is dropped (coalesced) to make
+    /// room — the outcome reports its sequence number so the caller can
+    /// count the decision.
+    pub fn enqueue(&mut self, frame: Frame) -> EnqueueOutcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let coalesced = if self.len == self.slots.len() {
+            let dropped = self.slots[self.head].take().expect("full ring has no empty head");
+            self.head = (self.head + 1) % self.slots.len();
+            self.len -= 1;
+            self.coalesced_total += 1;
+            Some(dropped.seq)
+        } else {
+            None
+        };
+        let tail = (self.head + self.len) % self.slots.len();
+        self.slots[tail] = Some(SeqFrame { seq, frame });
+        self.len += 1;
+        EnqueueOutcome { seq, coalesced }
+    }
+
+    /// Removes and returns the oldest pending frame (FIFO).
+    pub fn pop(&mut self) -> Option<SeqFrame> {
+        if self.len == 0 {
+            return None;
+        }
+        let sf = self.slots[self.head].take().expect("non-empty ring has a head frame");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        debug_assert!(self.last_delivered.is_none_or(|last| sf.seq > last), "delivery went backwards");
+        self.last_delivered = Some(sf.seq);
+        Some(sf)
+    }
+
+    /// Load-shedding drain: drops every pending frame except the newest and
+    /// delivers that one. Returns the surviving frame (if any) and the
+    /// number of frames shed.
+    pub fn drain_keep_newest(&mut self) -> (Option<SeqFrame>, u64) {
+        if self.len == 0 {
+            return (None, 0);
+        }
+        let mut shed = 0u64;
+        while self.len > 1 {
+            let tossed = self.slots[self.head].take().expect("non-empty ring has a head frame");
+            debug_assert!(self.last_delivered.is_none_or(|last| tossed.seq > last));
+            self.head = (self.head + 1) % self.slots.len();
+            self.len -= 1;
+            shed += 1;
+        }
+        (self.pop(), shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xr_graph::geom::Point2;
+
+    fn frame(tag: f64) -> Frame {
+        Frame::new(vec![Point2::new(tag, -tag)])
+    }
+
+    #[test]
+    fn fifo_below_capacity() {
+        let mut mb = FrameMailbox::new(4);
+        for t in 0..3 {
+            let out = mb.enqueue(frame(t as f64));
+            assert_eq!(out.seq, t);
+            assert_eq!(out.coalesced, None);
+        }
+        assert_eq!(mb.len(), 3);
+        for t in 0..3 {
+            let sf = mb.pop().unwrap();
+            assert_eq!(sf.seq, t);
+            assert_eq!(sf.frame.positions[0].x, t as f64);
+        }
+        assert!(mb.pop().is_none());
+        assert_eq!(mb.coalesced_total(), 0);
+    }
+
+    #[test]
+    fn full_ring_coalesces_the_oldest_frame() {
+        let mut mb = FrameMailbox::new(2);
+        assert_eq!(mb.enqueue(frame(0.0)).coalesced, None);
+        assert_eq!(mb.enqueue(frame(1.0)).coalesced, None);
+        // seq 0 is the stalest pending frame; seq 2 displaces it
+        assert_eq!(mb.enqueue(frame(2.0)).coalesced, Some(0));
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.coalesced_total(), 1);
+        assert_eq!(mb.pop().unwrap().seq, 1);
+        assert_eq!(mb.pop().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn drain_keep_newest_shed_counts() {
+        let mut mb = FrameMailbox::new(8);
+        for t in 0..5 {
+            mb.enqueue(frame(t as f64));
+        }
+        let (survivor, shed) = mb.drain_keep_newest();
+        assert_eq!(survivor.unwrap().seq, 4);
+        assert_eq!(shed, 4);
+        assert!(mb.is_empty());
+        let (none, zero) = mb.drain_keep_newest();
+        assert!(none.is_none());
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn capacity_one_always_keeps_the_newest() {
+        let mut mb = FrameMailbox::new(1);
+        for t in 0..10 {
+            mb.enqueue(frame(t as f64));
+        }
+        assert_eq!(mb.coalesced_total(), 9);
+        let sf = mb.pop().unwrap();
+        assert_eq!(sf.seq, 9, "only the newest frame survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        FrameMailbox::new(0);
+    }
+}

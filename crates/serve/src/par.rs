@@ -1,19 +1,27 @@
-//! Minimal scoped-thread work-queue parallelism for the experiment runner.
+//! Minimal scoped-thread work-queue parallelism — the deterministic worker
+//! pool shared by the experiment runner and the multi-room scheduler.
 //!
-//! The comparison/ablation/sensitivity drivers decompose into independent
-//! (method × scenario × seed) cells. Every cell derives its randomness from
-//! fixed per-cell seeds, never from a shared RNG, so the tables regenerate
-//! **identically at any thread count** — only wall-clock timing columns vary.
+//! Moved here from `xr_eval` (which re-exports it unchanged) when the
+//! serving layer grew its own consumer: the room scheduler and the
+//! comparison/ablation drivers decompose the same way, into independent
+//! cells (rooms, or method × scenario × seed) that derive all randomness
+//! from fixed per-cell seeds, never from a shared RNG, so results regenerate
+//! **identically at any thread count** — only wall-clock timing varies.
 //!
 //! Implemented on `std::thread::scope` with an atomic index queue: no
 //! external dependency, no unsafe, and workers borrow the shared read-only
-//! inputs (scenarios, contexts) directly from the caller's stack.
+//! inputs (scenarios, contexts, room slots) directly from the caller's
+//! stack.
 //!
 //! Observability: the caller's installed [`xr_obs::ObsCtx`] (if any) is
 //! propagated into every worker, so spans, events, and metrics recorded
 //! inside parallel cells land in the same registry/trace as the spawning
 //! thread's — and progress/warning output goes through `xr_obs` events
 //! instead of raw `eprintln!`, keeping multi-worker logs interleaving-safe.
+//!
+//! Event names stay under the historical `xr_eval.par` prefix: they are
+//! pinned by the obs-smoke golden and external dashboards, and renaming a
+//! metric is an interface break regardless of which crate emits it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -44,9 +52,10 @@ fn default_threads() -> usize {
 /// results in index order (element `i` is `f(i)`).
 ///
 /// Work is distributed dynamically through an atomic counter, so uneven cell
-/// costs (COMURNet vs. Random) still balance. With one worker — or one item —
-/// this degrades to a plain sequential loop on the calling thread. A panic in
-/// `f` propagates to the caller when the scope joins.
+/// costs (COMURNet vs. Random, a degraded room vs. an idle one) still
+/// balance. With one worker — or one item — this degrades to a plain
+/// sequential loop on the calling thread. A panic in `f` propagates to the
+/// caller when the scope joins.
 pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -56,8 +65,9 @@ where
 }
 
 /// [`par_map_indexed`] with an explicit worker count — the building block
-/// the default entry point wraps, and what the tests use to exercise the
-/// threaded path regardless of the host's core count.
+/// the default entry point wraps. The room scheduler pins this at server
+/// construction, and the tests use it to exercise the threaded path
+/// regardless of the host's core count.
 pub fn par_map_indexed_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,

@@ -1,0 +1,109 @@
+//! Property tests for the frame mailbox's coalescing contract: under random
+//! enqueue/drain interleavings, delivery never reorders frames within a
+//! room and never hands out a stale frame after a newer one was coalesced
+//! over it.
+
+use proptest::prelude::*;
+use xr_graph::geom::Point2;
+use xr_serve::mailbox::FrameMailbox;
+use xr_session::Frame;
+
+/// Interleaving alphabet: 0 = enqueue, 1 = pop one, 2 = shed-drain (keep
+/// newest), generated alongside a ring capacity.
+fn ops_strategy() -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (1usize..6, proptest::collection::vec(0u32..3, 1..120))
+}
+
+/// Tags each frame with its enqueue index so a delivered frame's payload
+/// must match its sequence number.
+fn tagged_frame(tag: u64) -> Frame {
+    Frame::new(vec![Point2::new(tag as f64, -(tag as f64))])
+}
+
+/// Runs one interleaving, asserting the delivery invariants after every op:
+/// strictly increasing delivered seqs, payloads matching their seqs, no
+/// coalesced-over frame ever delivered afterwards, and the ring bound held.
+fn check_interleaving(capacity: usize, ops: &[u32]) {
+    let mut mb = FrameMailbox::new(capacity);
+    let mut dropped: Vec<u64> = Vec::new(); // coalesced-over seqs
+    let mut delivered: Vec<u64> = Vec::new();
+    let mut enqueued: u64 = 0;
+
+    for &op in ops {
+        match op {
+            0 => {
+                let outcome = mb.enqueue(tagged_frame(enqueued));
+                assert_eq!(outcome.seq, enqueued, "seqs are assigned in arrival order");
+                enqueued += 1;
+                if let Some(stale) = outcome.coalesced {
+                    assert!(stale < outcome.seq, "only older frames get coalesced over");
+                    dropped.push(stale);
+                }
+            }
+            1 => {
+                if let Some(sf) = mb.pop() {
+                    assert_eq!(sf.frame.positions[0].x, sf.seq as f64, "payload matches seq");
+                    delivered.push(sf.seq);
+                }
+            }
+            _ => {
+                let before = mb.len();
+                let (survivor, shed) = mb.drain_keep_newest();
+                assert_eq!(shed as usize, before.saturating_sub(1));
+                // every shed frame is older than the survivor, so the
+                // strictly-increasing delivery invariant below also rules
+                // out a shed frame ever being delivered later
+                if let Some(sf) = survivor {
+                    delivered.push(sf.seq);
+                }
+            }
+        }
+
+        for pair in delivered.windows(2) {
+            assert!(pair[0] < pair[1], "delivery order went backwards: {pair:?}");
+        }
+        for seq in &dropped {
+            assert!(!delivered.contains(seq), "stale frame {seq} resurrected");
+        }
+        assert!(mb.len() <= capacity, "ring never exceeds its bound");
+    }
+
+    // end state: accounting adds up — every stamped frame was delivered,
+    // dropped, or is still pending
+    let coalesced = mb.coalesced_total() as usize;
+    assert!(delivered.len() + coalesced <= enqueued as usize);
+    assert_eq!(mb.last_delivered(), delivered.last().copied());
+}
+
+/// Saturates a mailbox with enqueues only, then drains: the survivors must
+/// be exactly the newest `capacity` sequence numbers, in order.
+fn check_saturation(capacity: usize, extra: usize) {
+    let total = capacity + extra;
+    let mut mb = FrameMailbox::new(capacity);
+    for tag in 0..total as u64 {
+        mb.enqueue(tagged_frame(tag));
+    }
+    assert_eq!(mb.coalesced_total() as usize, extra);
+    let mut seqs = Vec::new();
+    while let Some(sf) = mb.pop() {
+        seqs.push(sf.seq);
+    }
+    let expect: Vec<u64> = (extra as u64..total as u64).collect();
+    assert_eq!(seqs, expect, "survivors are the newest suffix, FIFO");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random enqueue/pop/shed interleavings uphold the delivery contract.
+    #[test]
+    fn coalescing_never_reorders_or_resurrects(case in ops_strategy()) {
+        check_interleaving(case.0, &case.1);
+    }
+
+    /// A saturated mailbox always delivers the newest suffix of seqs.
+    #[test]
+    fn saturation_keeps_exactly_the_newest_suffix(case in (1usize..6, 0usize..40)) {
+        check_saturation(case.0, case.1);
+    }
+}

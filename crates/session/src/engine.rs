@@ -172,6 +172,11 @@ pub struct SceneEngine {
     /// `slot_of[v]` is the slot index of viewer `v`, if registered.
     slot_of: Vec<Option<usize>>,
     states: Vec<SceneState>,
+    /// Tick index of `states[0]` — nonzero once retention compacted history.
+    base: usize,
+    /// `Some(k)`: keep only the last `k` states (long-running serving);
+    /// `None`: keep everything (episode replay/training).
+    retain: Option<usize>,
     /// Per-tick deadline tracking, when `AFTER_SLO_BUDGET_MS` (or
     /// [`SceneEngine::set_slo`]) configured a budget.
     slo: Option<xr_obs::SloTracker>,
@@ -204,6 +209,8 @@ impl SceneEngine {
             viewers: unique,
             slot_of,
             states: Vec::new(),
+            base: 0,
+            retain: None,
             slo: xr_obs::SloTracker::from_env("session.tick"),
         }
     }
@@ -234,9 +241,42 @@ impl SceneEngine {
         &self.converter
     }
 
-    /// Number of ticks ingested so far.
+    /// Number of ticks ingested so far (including compacted ones).
     pub fn ticks(&self) -> usize {
-        self.states.len()
+        self.base + self.states.len()
+    }
+
+    /// Bounds the retained scene-state history: `Some(k)` keeps only the
+    /// last `k` ticks (compacting immediately and on every later push),
+    /// `None` (the default) keeps every tick. Long-running serving sessions
+    /// must bound retention — a room ticking for hours would otherwise
+    /// accumulate O(n²) state per tick forever; episode replay and training
+    /// keep the full history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keep_last` is `Some(0)` — the current tick's state must
+    /// always be readable after a push.
+    pub fn set_state_retention(&mut self, keep_last: Option<usize>) {
+        assert!(keep_last != Some(0), "retention must keep at least one state");
+        self.retain = keep_last;
+        self.compact();
+    }
+
+    /// The oldest tick whose state is still retained (0 until retention
+    /// compacts history).
+    pub fn first_retained_tick(&self) -> usize {
+        self.base
+    }
+
+    fn compact(&mut self) {
+        if let Some(keep) = self.retain {
+            if self.states.len() > keep {
+                let drop = self.states.len() - keep;
+                self.states.drain(..drop);
+                self.base += drop;
+            }
+        }
     }
 
     /// Installs (or clears) a per-tick deadline tracker, overriding the
@@ -257,7 +297,7 @@ impl SceneEngine {
     ///
     /// Panics when the frame's participant count differs from the engine's.
     pub fn push(&mut self, frame: Frame) -> usize {
-        let t = self.states.len();
+        let t = self.ticks();
         let _span = xr_obs::span!("session.tick", t = t, n = self.n, viewers = self.viewers.len());
         // Instant::now only when someone will read the measurement
         let tick_start = self.slo.as_ref().map(|_| std::time::Instant::now());
@@ -287,6 +327,7 @@ impl SceneEngine {
         xr_obs::counter_add("session.sweep.pair_tests_saved", &[], brute.saturating_sub(pair_tests));
 
         self.states.push(SceneState { n: self.n, positions, distances, occlusion, candidate_mask });
+        self.compact();
         if let (Some(slo), Some(start)) = (&mut self.slo, tick_start) {
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
             slo.record(t as u64, elapsed_ms);
@@ -308,8 +349,24 @@ impl SceneEngine {
     }
 
     /// The shared scene state at tick `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when tick `t` was compacted away by state retention (or never
+    /// ingested).
     pub fn state(&self, t: usize) -> &SceneState {
-        &self.states[t]
+        assert!(
+            t >= self.base,
+            "tick {t} was compacted away (retention keeps ticks {}..{})",
+            self.base,
+            self.ticks()
+        );
+        &self.states[t - self.base]
+    }
+
+    /// The most recent tick's state, if any frame has been ingested.
+    pub fn latest_state(&self) -> Option<&SceneState> {
+        self.states.last()
     }
 
     /// A borrowed per-target view at tick `t`.
@@ -320,7 +377,7 @@ impl SceneEngine {
     pub fn view(&self, viewer: usize, t: usize) -> TargetView<'_> {
         let slot =
             self.slot_of[viewer].unwrap_or_else(|| panic!("viewer {viewer} not registered with this engine"));
-        TargetView { state: &self.states[t], viewer, slot }
+        TargetView { state: self.state(t), viewer, slot }
     }
 
     /// The slot index of a registered viewer.
@@ -328,9 +385,10 @@ impl SceneEngine {
         self.slot_of.get(viewer).copied().flatten()
     }
 
-    /// Consumes the engine, yielding every ingested tick's shared state in
-    /// order. Use [`SceneState::into_parts`] to take ownership of the
-    /// per-slot structures without a copy.
+    /// Consumes the engine, yielding every **retained** tick's shared state
+    /// in order (all of them unless [`SceneEngine::set_state_retention`]
+    /// compacted history). Use [`SceneState::into_parts`] to take ownership
+    /// of the per-slot structures without a copy.
     pub fn into_states(self) -> Vec<SceneState> {
         self.states
     }
@@ -632,6 +690,58 @@ mod tests {
             assert_eq!(a.occlusion, b.occlusion, "t={t}");
             assert_eq!(a.candidate_mask, b.candidate_mask, "t={t}");
         }
+    }
+
+    #[test]
+    fn retention_keeps_the_last_k_states_at_stable_tick_indices() {
+        let n = 12;
+        let mut bounded = engine_for(n, 2, 0.25);
+        bounded.set_state_retention(Some(3));
+        let mut unbounded = engine_for(n, 2, 0.25);
+        for t in 0..10u64 {
+            let f = random_positions(n, 6.0, 200 + t);
+            assert_eq!(bounded.push(Frame::new(f.clone())), t as usize, "tick indices unaffected");
+            unbounded.push(Frame::new(f));
+        }
+        assert_eq!(bounded.ticks(), 10);
+        assert_eq!(bounded.first_retained_tick(), 7);
+        for t in 7..10 {
+            // retained states are addressed by their original tick index and
+            // identical to the unbounded engine's
+            assert_eq!(bounded.state(t).distances, unbounded.state(t).distances, "t={t}");
+            assert_eq!(bounded.view(0, t).candidate_mask(), unbounded.view(0, t).candidate_mask());
+        }
+        assert_eq!(bounded.latest_state().unwrap().positions(), unbounded.state(9).positions());
+        assert_eq!(bounded.into_states().len(), 3);
+    }
+
+    #[test]
+    fn retention_can_be_tightened_mid_session() {
+        let mut engine = engine_for(6, 2, 0.25);
+        for t in 0..5u64 {
+            engine.push(Frame::new(random_positions(6, 5.0, 300 + t)));
+        }
+        assert_eq!(engine.first_retained_tick(), 0);
+        engine.set_state_retention(Some(1));
+        assert_eq!(engine.first_retained_tick(), 4, "tightening compacts immediately");
+        assert_eq!(engine.ticks(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted away")]
+    fn reading_a_compacted_tick_panics() {
+        let mut engine = engine_for(6, 2, 0.25);
+        engine.set_state_retention(Some(1));
+        for t in 0..3u64 {
+            engine.push(Frame::new(random_positions(6, 5.0, 400 + t)));
+        }
+        engine.state(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_retention_panics() {
+        engine_for(4, 2, 0.25).set_state_retention(Some(0));
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //! | [`poshgnn`] | the AFTER problem, utility evaluator, and POSHGNN model |
 //! | [`xr_baselines`] | Random, Nearest, MvAGC, GraFrank, DCRNN, TGCN, COMURNet |
 //! | [`xr_eval`] | metrics, statistics, experiment runners, user-study simulator |
+//! | [`xr_obs`] | tracing spans, metrics registry, SLO tracking, flight recorder |
+//! | [`xr_session`] | frame-driven `SceneEngine`, f32 serving kernels |
+//! | [`xr_serve`] | multi-room scheduler: mailboxes, admission control, degradation |
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/room_server.rs` for the multi-room serving layer.
 
 pub use poshgnn;
 pub use xr_baselines;
@@ -26,4 +30,7 @@ pub use xr_datasets;
 pub use xr_eval;
 pub use xr_gnn;
 pub use xr_graph;
+pub use xr_obs;
+pub use xr_serve;
+pub use xr_session;
 pub use xr_tensor;

@@ -1,0 +1,169 @@
+//! Soak and determinism suite for the multi-room serving layer.
+//!
+//! The soak test drives 1k+ concurrent rooms through hundreds of pump rounds
+//! under join/leave churn and asserts the serving SLO holds (p99 tick within
+//! budget), shedding stays under a pinned ceiling, and — once every room has
+//! left — the registry gauges drain back to zero. The determinism test runs
+//! the same workload at `workers = 1` and `workers = 8` and requires
+//! byte-identical per-room decision streams plus an identical
+//! metrics-snapshot structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xr_graph::geom::Point2;
+use xr_obs::ObsCtx;
+use xr_serve::{Decision, RoomConfig, RoomId, RoomServer, ServerConfig};
+use xr_session::{Frame, SceneConfig};
+
+/// Participants per soak room (kept small: the soak stresses room *count*
+/// and churn, not per-room scene size).
+const ROOM_N: usize = 8;
+
+fn soak_scene() -> SceneConfig {
+    SceneConfig {
+        body_radius: 0.2,
+        mr_mask: (0..ROOM_N).map(|i| i % 2 == 0).collect(),
+        room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+    }
+}
+
+fn soak_room() -> RoomConfig {
+    RoomConfig::new(ROOM_N, soak_scene(), vec![0, 3])
+}
+
+/// A deterministic per-room random-walk frame: positions are a pure function
+/// of `(room_seed, tick)`, so every worker count sees the same streams.
+fn walk_frame(room_seed: u64, tick: u64) -> Frame {
+    let mut rng = StdRng::seed_from_u64(room_seed ^ tick.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let positions =
+        (0..ROOM_N).map(|_| Point2::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0))).collect();
+    Frame::new(positions)
+}
+
+#[test]
+fn soak_1k_rooms_with_churn_holds_slo_and_drains_cleanly() {
+    const ROOMS: usize = 1024;
+    const ROUNDS: u64 = 220;
+    const CHURN_EVERY: u64 = 20;
+    const CHURN_ROOMS: usize = 32;
+    const BUDGET_MS: f64 = 250.0;
+    /// Frames the scheduler may shed over the whole soak before the test
+    /// fails — the generous budget should make shedding rare to nonexistent.
+    const SHED_CEILING: u64 = 64;
+
+    let ctx = ObsCtx::new(true, false);
+    let _guard = ctx.install();
+
+    let mut server = RoomServer::new(ServerConfig {
+        max_rooms: ROOMS + CHURN_ROOMS,
+        slo: Some(xr_obs::SloConfig::new(BUDGET_MS)),
+        ..ServerConfig::default()
+    });
+
+    // seed the fleet; each room's walk stream is keyed by its (never reused)
+    // room id, so churn replacements get fresh trajectories
+    let mut active: Vec<RoomId> =
+        (0..ROOMS).map(|_| server.admit(soak_room()).expect("seed admission under the cap")).collect();
+
+    let mut rng = StdRng::seed_from_u64(0x50AC_2026);
+    let mut frames_sent: u64 = 0;
+    for round in 0..ROUNDS {
+        // churn: a slice of rooms leaves, replacements join
+        if round > 0 && round % CHURN_EVERY == 0 {
+            for _ in 0..CHURN_ROOMS {
+                let slot = rng.gen_range(0..active.len());
+                let id = active.swap_remove(slot);
+                assert!(server.leave(id), "active room {id:?} must be removable");
+            }
+            for _ in 0..CHURN_ROOMS {
+                active.push(server.admit(soak_room()).expect("churn admission under the cap"));
+            }
+        }
+
+        for &id in &active {
+            server.enqueue(id, walk_frame(id.0, round));
+            frames_sent += 1;
+        }
+        let report = server.pump();
+        assert!(report.frames() > 0, "a loaded round must process frames");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.enqueued, frames_sent);
+    assert!(stats.shed <= SHED_CEILING, "shed {} frames over the soak (ceiling {SHED_CEILING})", stats.shed);
+    // everything sent was either served or (rarely) shed/coalesced
+    assert_eq!(stats.processed + stats.shed + stats.coalesced, frames_sent);
+
+    let mid = xr_obs::metrics_snapshot().expect("metrics context is installed");
+    let tick = mid.histogram("serve.room.tick.ms").expect("tick histogram exists");
+    assert_eq!(tick.count, stats.processed);
+    assert!(tick.p99 <= BUDGET_MS, "p99 tick {}ms blew the {BUDGET_MS}ms budget", tick.p99);
+    assert_eq!(mid.gauge("serve.rooms.active"), Some(active.len() as f64));
+
+    // drain: every room leaves; the registry gauges must return to zero and
+    // no pending frames may survive their rooms
+    for id in active.drain(..) {
+        assert!(server.leave(id));
+    }
+    assert_eq!(server.room_count(), 0);
+    assert_eq!(server.pending_total(), 0);
+    let end = xr_obs::metrics_snapshot().expect("metrics context is installed");
+    assert_eq!(end.gauge("serve.rooms.active"), Some(0.0));
+    assert_eq!(end.gauge("serve.rooms.degraded"), Some(0.0));
+    assert_eq!(end.gauge("serve.mailbox.pending"), Some(0.0));
+}
+
+/// Runs a fixed 64-room × 48-round workload (no churn, no budget) at the
+/// given worker count under a fresh metrics context; returns every room's
+/// decision stream plus the metrics snapshot.
+fn run_fixed_workload(workers: usize) -> (Vec<(u64, Vec<Decision>)>, xr_obs::MetricsSnapshot) {
+    const ROOMS: usize = 64;
+    const ROUNDS: u64 = 48;
+
+    let ctx = ObsCtx::new(true, false);
+    let _guard = ctx.install();
+
+    let mut server = RoomServer::new(ServerConfig {
+        max_rooms: ROOMS,
+        workers,
+        slo: None, // ladder inert: determinism must not depend on timing
+        ..ServerConfig::default()
+    });
+    let ids: Vec<RoomId> =
+        (0..ROOMS).map(|_| server.admit(soak_room()).expect("admission under the cap")).collect();
+
+    let mut streams: Vec<(u64, Vec<Decision>)> = ids.iter().map(|id| (id.0, Vec::new())).collect();
+    for round in 0..ROUNDS {
+        for &id in &ids {
+            server.enqueue(id, walk_frame(id.0, round));
+        }
+        for drain in server.pump().rooms {
+            let slot = ids.iter().position(|id| *id == drain.room).unwrap();
+            streams[slot].1.extend(drain.decisions);
+        }
+    }
+    let snapshot = xr_obs::metrics_snapshot().expect("metrics context is installed");
+    (streams, snapshot)
+}
+
+#[test]
+fn decision_streams_are_identical_at_one_and_eight_workers() {
+    let (serial, snap1) = run_fixed_workload(1);
+    let (threaded, snap8) = run_fixed_workload(8);
+
+    assert_eq!(serial.len(), threaded.len());
+    for ((id_a, stream_a), (id_b, stream_b)) in serial.iter().zip(&threaded) {
+        assert_eq!(id_a, id_b);
+        assert_eq!(stream_a, stream_b, "room {id_a}: decision streams diverged between 1 and 8 workers");
+    }
+
+    // the metrics structure must be worker-count independent too: same
+    // counter rows with the same totals, same gauge rows, same histogram
+    // rows with the same counts (timings differ; shapes and totals may not)
+    assert_eq!(snap1.counters, snap8.counters);
+    assert_eq!(snap1.gauges, snap8.gauges);
+    let names = |s: &xr_obs::MetricsSnapshot| {
+        s.histograms.iter().map(|(k, h)| (k.display(), h.count)).collect::<Vec<_>>()
+    };
+    assert_eq!(names(&snap1), names(&snap8));
+}
