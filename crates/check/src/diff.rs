@@ -1191,6 +1191,219 @@ impl DiffSubject for MultiRoomVsSequential {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session pair: incremental O(Δ) maintenance vs. from-scratch (bit-identical).
+// ---------------------------------------------------------------------------
+
+/// A churn-heavy scene-maintenance workload: bounded random walks spiked
+/// with teleports, plus join/leave churn modeled as teleports to and from a
+/// shared lobby point far outside the room (the engine keeps a fixed frame
+/// width, so "absent" users park — coincident and stationary — in the
+/// lobby, exercising the degenerate-arc and sort-tie paths).
+#[derive(Debug, Clone)]
+pub struct IncrementalSceneCase {
+    /// Participant count (fixed frame width; churn is positional).
+    pub n: usize,
+    /// Registered viewers (unique, ascending, all `< n`).
+    pub viewers: Vec<usize>,
+    /// Recommendation size for the decision stream.
+    pub top_k: usize,
+    /// MR participation mask.
+    pub mr_mask: Vec<bool>,
+    /// State retention handed to both engines (`None` = unbounded).
+    pub retention: Option<usize>,
+    /// Positions per tick, `frames[t]` of length `n`.
+    pub frames: Vec<Vec<Point2>>,
+}
+
+/// The incremental scene engine (`set_incremental(true)`: delta distance
+/// rows, warm sweep candidates, retained-edge reuse) vs. the from-scratch
+/// oracle (`set_incremental(false)`) on the same frame stream. Incremental
+/// maintenance is an optimization layer, not an approximation: every tick's
+/// distance matrix (bitwise), per-viewer occlusion graph (`Eq`, including
+/// adjacency order), candidate mask, and [`xr_serve::decide_topk_f64`]
+/// decision stream must be identical across teleports, lobby churn, and
+/// tight retention windows.
+pub struct IncrementalVsFromScratch;
+
+impl DiffSubject for IncrementalVsFromScratch {
+    type Case = IncrementalSceneCase;
+
+    fn pair(&self) -> String {
+        "session: incremental maintenance vs from-scratch".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> IncrementalSceneCase {
+        let (n, ticks) = (4usize..10, 3usize..9).generate(rng);
+        let viewer_count = (1usize..4).generate(rng).min(n);
+        let mut viewers: Vec<usize> = (0..viewer_count).map(|_| (0usize..n).generate(rng)).collect();
+        viewers.sort_unstable();
+        viewers.dedup();
+        let top_k = (1usize..5).generate(rng);
+        let mr_mask: Vec<bool> = (0..n).map(|_| (0u32..2).generate(rng) == 1).collect();
+        let retention = match (0u32..3).generate(rng) {
+            0 => None,
+            1 => Some(1),
+            _ => Some(2),
+        };
+        // motion regime per case: mostly-coherent walks with occasional
+        // teleports and lobby churn, biased so some cases are near-static
+        // (max warm reuse) and some are storms (constant rebuilds)
+        let (teleport_prob, churn_prob) = (0.0f64..0.35, 0.0f64..0.35).generate(rng);
+        let step = (0.02f64..0.8).generate(rng);
+        let lobby = Point2::new(20.0, 20.0);
+        let in_room_pos = |rng: &mut StdRng| -> Point2 {
+            Point2::new((-4.0f64..4.0).generate(rng), (-4.0f64..4.0).generate(rng))
+        };
+        let mut in_room: Vec<bool> = (0..n).map(|_| (0u32..4).generate(rng) != 0).collect();
+        let mut current: Vec<Point2> =
+            (0..n).map(|i| if in_room[i] { in_room_pos(rng) } else { lobby }).collect();
+        let mut frames = vec![current.clone()];
+        for _ in 1..ticks {
+            for i in 0..n {
+                if (0.0f64..1.0).generate(rng) < churn_prob {
+                    // join/leave churn: swap sides of the lobby door
+                    in_room[i] = !in_room[i];
+                    current[i] = if in_room[i] { in_room_pos(rng) } else { lobby };
+                } else if !in_room[i] {
+                    // parked in the lobby: bit-identical (stationary)
+                } else if (0.0f64..1.0).generate(rng) < teleport_prob {
+                    current[i] = in_room_pos(rng);
+                } else {
+                    let (dx, dy) = (-step..step, -step..step).generate(rng);
+                    current[i] = Point2::new(
+                        (current[i].x + dx).clamp(-4.0, 4.0),
+                        (current[i].y + dy).clamp(-4.0, 4.0),
+                    );
+                }
+            }
+            frames.push(current.clone());
+        }
+        IncrementalSceneCase { n, viewers, top_k, mr_mask, retention, frames }
+    }
+
+    fn compare(&self, case: &IncrementalSceneCase) -> Option<StepDivergence> {
+        use xr_session::{Frame, SceneConfig, SceneEngine};
+
+        let scene = SceneConfig {
+            body_radius: 0.2,
+            mr_mask: case.mr_mask.clone(),
+            room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+        };
+        let build = |incremental: bool| {
+            let mut engine = SceneEngine::new(case.n, scene.clone(), &case.viewers);
+            engine.set_incremental(incremental);
+            engine.set_state_retention(case.retention);
+            engine
+        };
+        let mut inc = build(true);
+        let mut oracle = build(false);
+
+        for (t, frame) in case.frames.iter().enumerate() {
+            inc.push(Frame::new(frame.clone()));
+            oracle.push(Frame::new(frame.clone()));
+            // compare the freshly pushed tick — always retained, even at
+            // retention=1 (the satellite regression this subject pins)
+            let (si, so) = (inc.state(t), oracle.state(t));
+            for (i, (p, q)) in si.positions().iter().zip(so.positions()).enumerate() {
+                if p.x.to_bits() != q.x.to_bits() || p.y.to_bits() != q.y.to_bits() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!("position[{i}] at t={t}: incremental {p:?} vs scratch {q:?}"),
+                    });
+                }
+            }
+            for i in 0..case.n {
+                for (j, (a, b)) in si.distance_row(i).iter().zip(so.distance_row(i)).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Some(StepDivergence {
+                            step: t,
+                            detail: format!(
+                                "distance[{i}][{j}] at t={t}: incremental {a:?} vs scratch {b:?}"
+                            ),
+                        });
+                    }
+                }
+            }
+            for &viewer in &case.viewers {
+                let (vi, vo) = (inc.view(viewer, t), oracle.view(viewer, t));
+                if vi.occlusion() != vo.occlusion() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "viewer {viewer} occlusion at t={t}: incremental {:?} vs scratch {:?}",
+                            vi.occlusion(),
+                            vo.occlusion()
+                        ),
+                    });
+                }
+                if vi.candidate_mask() != vo.candidate_mask() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "viewer {viewer} candidate mask at t={t}: incremental {:?} vs scratch {:?}",
+                            vi.candidate_mask(),
+                            vo.candidate_mask()
+                        ),
+                    });
+                }
+                let di = xr_serve::decide_topk_f64(vi.candidate_mask(), vi.distances(), case.top_k);
+                let ds = xr_serve::decide_topk_f64(vo.candidate_mask(), vo.distances(), case.top_k);
+                if di != ds {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "viewer {viewer} decision at t={t}: incremental {di:?} vs scratch {ds:?}"
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &IncrementalSceneCase) -> Vec<IncrementalSceneCase> {
+        let mut out = Vec::new();
+        if case.frames.len() > 2 {
+            out.push(IncrementalSceneCase {
+                frames: case.frames[..case.frames.len() / 2].to_vec(),
+                ..case.clone()
+            });
+            out.push(IncrementalSceneCase { frames: case.frames[1..].to_vec(), ..case.clone() });
+        }
+        if case.n > 2 {
+            let n = case.n / 2;
+            let mut viewers: Vec<usize> = case.viewers.iter().copied().filter(|&v| v < n).collect();
+            if viewers.is_empty() {
+                viewers.push(0);
+            }
+            out.push(IncrementalSceneCase {
+                n,
+                viewers,
+                top_k: case.top_k,
+                mr_mask: case.mr_mask[..n].to_vec(),
+                retention: case.retention,
+                frames: case.frames.iter().map(|f| f[..n].to_vec()).collect(),
+            });
+        }
+        if case.retention.is_some() {
+            out.push(IncrementalSceneCase { retention: None, ..case.clone() });
+        }
+        out
+    }
+
+    fn describe(&self, case: &IncrementalSceneCase) -> String {
+        format!(
+            "n={} users, {} ticks, viewers {:?}, top_k={}, retention {:?}",
+            case.n,
+            case.frames.len(),
+            case.viewers,
+            case.top_k,
+            case.retention
+        )
+    }
+}
+
 /// Rebuilds a CSR matrix from raw entries — exposed for tests that want to
 /// cross-check a subject's own comparison logic.
 pub fn csr_of(case: &SpmmCase) -> Rc<CsrAdj> {

@@ -267,6 +267,14 @@ pub fn with_streaming<R>(on: bool, f: impl FnOnce() -> R) -> R {
     with_env_var("AFTER_STREAMING", if on { "1" } else { "0" }, f)
 }
 
+/// Runs `f` with `AFTER_INCREMENTAL` forced on (`1`, O(Δ) scene maintenance
+/// and MIA edge-deltas, the default) or off (`0`, the from-scratch oracle),
+/// restoring the previous value afterwards. Shares the env lock with
+/// [`with_threads`].
+pub fn with_incremental<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    with_env_var("AFTER_INCREMENTAL", if on { "1" } else { "0" }, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

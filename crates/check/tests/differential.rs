@@ -3,9 +3,9 @@
 //! POSHGNN recommender pair on full generated episodes.
 
 use xr_check::diff::{
-    assert_no_divergence, CachedVsFreshMia, MatmulNaiveVsBlocked, MultiRoomVsSequential, OrcaGridVsBrute,
-    PooledVsFreshTape, SerialVsParallelRunner, ServeF32VsF64, SparseVsDensePoshGnn, SpmmVsDense,
-    StreamingVsPrecomputed,
+    assert_no_divergence, CachedVsFreshMia, IncrementalVsFromScratch, MatmulNaiveVsBlocked,
+    MultiRoomVsSequential, OrcaGridVsBrute, PooledVsFreshTape, SerialVsParallelRunner, ServeF32VsF64,
+    SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -58,6 +58,14 @@ fn multi_room_scheduler_matches_sequential_engines_bitwise() {
     // no SLO budget in the generated configs, so the ladder and shedding are
     // inert and the scheduler must be a pure reordering of sequential work
     assert_no_divergence(&MultiRoomVsSequential, KERNEL_CASES);
+}
+
+#[test]
+fn incremental_scene_maintenance_matches_from_scratch_bitwise() {
+    // delta distance rows, warm sweep candidates, and retained-edge reuse
+    // vs. the from-scratch oracle: bitwise-clean across teleports, lobby
+    // churn, and retention windows down to a single state
+    assert_no_divergence(&IncrementalVsFromScratch, KERNEL_CASES);
 }
 
 #[test]

@@ -83,22 +83,42 @@ impl Mia {
         let _span = xr_obs::span!("poshgnn.mia.compute", t = t);
         let n = ctx.n;
         let adjacency_csr = Rc::new(ctx.occlusion[t].adjacency_csr());
+        let adjacency_norm_csr = Rc::new(adjacency_csr.row_normalized());
         let prev_csr = if t == 0 { CsrAdj::empty(n, n) } else { ctx.occlusion[t - 1].adjacency_csr() };
-
-        // Δ_t = [e⁰ ‖ e¹ ‖ e²]; the propagation differences are scaled by
-        // 1/N so Δ stays O(1) regardless of crowd size (training stability;
-        // the paper leaves the scale unspecified). All structural terms are
-        // O(m): `(A − A')·1` is the degree difference, and
-        // `(A² − A'²)·1 = A·(A·1) − A'·(A'·1)` is two sparse mat-vecs —
-        // no N×N matrix is ever formed here.
         let deg: Vec<f64> = (0..n).map(|v| ctx.occlusion[t].degree(v) as f64).collect();
         let prev_deg: Vec<f64> = if t == 0 {
             vec![0.0; n]
         } else {
             (0..n).map(|v| ctx.occlusion[t - 1].degree(v) as f64).collect()
         };
-        let a2_1 = adjacency_csr.matvec(&deg);
         let p2_1 = prev_csr.matvec(&prev_deg);
+        self.compute_with_ops(ctx, t, adjacency_csr, adjacency_norm_csr, &deg, &prev_deg, &p2_1).0
+    }
+
+    /// MIA body over pre-built adjacency operators: the shared tail of the
+    /// from-scratch [`Mia::compute`] and the delta-maintained episode path.
+    /// `p2_1` is the predecessor's `A'·(A'·1)` (its own `a2_1`); the step's
+    /// `a2_1` is returned alongside the output so an episode loop can thread
+    /// it forward instead of re-deriving it from the previous operators.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_with_ops(
+        &self,
+        ctx: &TargetContext,
+        t: usize,
+        adjacency_csr: Rc<CsrAdj>,
+        adjacency_norm_csr: Rc<CsrAdj>,
+        deg: &[f64],
+        prev_deg: &[f64],
+        p2_1: &[f64],
+    ) -> (MiaOutput, Vec<f64>) {
+        let n = ctx.n;
+        // Δ_t = [e⁰ ‖ e¹ ‖ e²]; the propagation differences are scaled by
+        // 1/N so Δ stays O(1) regardless of crowd size (training stability;
+        // the paper leaves the scale unspecified). All structural terms are
+        // O(m): `(A − A')·1` is the degree difference, and
+        // `(A² − A'²)·1 = A·(A·1) − A'·(A'·1)` is two sparse mat-vecs —
+        // no N×N matrix is ever formed here.
+        let a2_1 = adjacency_csr.matvec(deg);
         let inv_n = 1.0 / n as f64;
         let delta = Matrix::from_fn(n, 3, |r, c| match c {
             0 => 1.0,
@@ -138,8 +158,6 @@ impl Mia {
             }
         });
 
-        let adjacency_norm_csr = Rc::new(adjacency_csr.row_normalized());
-
         // depth-weighted blocking matrix for the loss; each occlusion edge
         // contributes one directed entry, so nnz ≤ m
         let blocking_entries: Vec<(usize, usize, f64)> = ctx.occlusion[t]
@@ -159,7 +177,7 @@ impl Mia {
         let adjacency_norm_csr_t = Rc::new(adjacency_norm_csr.transpose());
         let blocking_csr_t = Rc::new(blocking_csr.transpose());
 
-        MiaOutput {
+        let out = MiaOutput {
             features: Rc::new(features),
             delta: Rc::new(delta),
             mask: Rc::new(mask),
@@ -174,7 +192,8 @@ impl Mia {
             adjacency_csr_t,
             adjacency_norm_csr_t,
             blocking_csr_t,
-        }
+        };
+        (out, a2_1)
     }
 
     /// Precomputes MIA for every step of an episode as shareable slabs.
@@ -184,9 +203,52 @@ impl Mia {
     /// inference pass) over the same episode. The `Rc` wrapper lets cached
     /// matrices flow into tapes via [`xr_tensor::Tape::constant_rc`] without
     /// cloning.
+    ///
+    /// By default ([`xr_session::incremental_enabled`]) the adjacency
+    /// operators are maintained across steps from occlusion edge-deltas (the
+    /// A_t − A_{t−1} MIA literally consumes) instead of rebuilt per step;
+    /// `AFTER_INCREMENTAL=0` restores the per-step rebuild as the oracle.
+    /// Both paths produce bit-identical slabs — pinned by a unit test here
+    /// and by the `CachedVsFreshMia` differential subject across the CI env
+    /// matrix.
     pub fn compute_episode(&self, ctx: &TargetContext) -> Vec<Rc<MiaOutput>> {
         let _span = xr_obs::span!("poshgnn.mia.compute_episode", steps = ctx.t_max() + 1);
+        if xr_session::incremental_enabled() {
+            self.compute_episode_delta(ctx)
+        } else {
+            self.compute_episode_fresh(ctx)
+        }
+    }
+
+    /// The per-step-rebuild episode path (the differential oracle).
+    pub fn compute_episode_fresh(&self, ctx: &TargetContext) -> Vec<Rc<MiaOutput>> {
         (0..=ctx.t_max()).map(|t| Rc::new(self.compute(ctx, t))).collect()
+    }
+
+    /// The delta-maintained episode path: one [`xr_gnn::AdjDeltaCache`]
+    /// steps the adjacency/normalized/degree operators from edge-deltas, and
+    /// each step's `A·(A·1)` mat-vec is threaded forward as the next step's
+    /// `A'·(A'·1)` instead of being re-derived from the previous operators.
+    pub fn compute_episode_delta(&self, ctx: &TargetContext) -> Vec<Rc<MiaOutput>> {
+        let n = ctx.n;
+        let mut cache = xr_gnn::AdjDeltaCache::fresh(&ctx.occlusion[0]);
+        // at t = 0 the predecessor is the empty graph: zero degrees, zero
+        // propagation — matching the fresh path's `CsrAdj::empty` matvec
+        let mut prev_deg = vec![0.0; n];
+        let mut p2_1 = vec![0.0; n];
+        let mut outs = Vec::with_capacity(ctx.t_max() + 1);
+        for t in 0..=ctx.t_max() {
+            if t > 0 {
+                cache.step(&ctx.occlusion[t - 1], &ctx.occlusion[t]);
+            }
+            let deg = cache.deg().to_vec();
+            let (out, a2_1) =
+                self.compute_with_ops(ctx, t, cache.csr(), cache.norm(), &deg, &prev_deg, &p2_1);
+            prev_deg = deg;
+            p2_1 = a2_1;
+            outs.push(Rc::new(out));
+        }
+        outs
     }
 
     /// Runs MIA at a step view's tick. MIA's `Δ_t` difference embeddings
@@ -411,6 +473,27 @@ mod tests {
                 assert!((out.delta[(r, 1)] - e1[(r, 0)]).abs() < 1e-12);
                 assert!((out.delta[(r, 2)] - e2[(r, 0)]).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn delta_episode_path_is_bitwise_identical_to_fresh() {
+        // both episode paths must produce the same slabs bit for bit — the
+        // delta path is an optimization layer, not an approximation
+        let c = ctx();
+        let fresh = Mia.compute_episode_fresh(&c);
+        let delta = Mia.compute_episode_delta(&c);
+        assert_eq!(fresh.len(), delta.len());
+        for (t, (f, d)) in fresh.iter().zip(delta.iter()).enumerate() {
+            let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+            assert_eq!(bits(&f.features), bits(&d.features), "t={t}: features");
+            assert_eq!(bits(&f.delta), bits(&d.delta), "t={t}: delta embedding");
+            assert_eq!(bits(&f.adjacency), bits(&d.adjacency), "t={t}: adjacency");
+            assert_eq!(bits(&f.adjacency_norm), bits(&d.adjacency_norm), "t={t}: adjacency_norm");
+            assert_eq!(bits(&f.blocking), bits(&d.blocking), "t={t}: blocking");
+            assert_eq!(f.adjacency_csr, d.adjacency_csr, "t={t}: csr");
+            assert_eq!(f.adjacency_norm_csr, d.adjacency_norm_csr, "t={t}: norm csr");
+            assert_eq!(f.adjacency_csr_t, d.adjacency_csr_t, "t={t}: csr transpose");
         }
     }
 

@@ -28,6 +28,52 @@
 //!   participant's arc overlaps `w`'s while standing strictly nearer — and
 //!   "overlaps" is exactly occlusion-graph adjacency, so no arc intersection
 //!   is ever re-tested.
+//!
+//! ## Incremental O(Δ) maintenance
+//!
+//! By default the engine maintains the shared state *incrementally* across
+//! ticks (`AFTER_INCREMENTAL=0` restores the from-scratch build as the
+//! differential oracle; both paths are pinned bitwise-identical by the
+//! `xr_check` `IncrementalVsFromScratch` subject):
+//!
+//! * Frames are first *snapped*: a user whose raw position moved at most
+//!   [`SceneEngine::snap_epsilon`] from the previous effective position
+//!   keeps the previous position exactly. Snapping is shared ingest
+//!   semantics — the oracle path applies it too — so equality holds at any
+//!   epsilon, and the default `0.0` makes it a numeric no-op.
+//! * Distance rows are delta-updated: the previous matrix is copied and only
+//!   rows of *moved* users (effective position changed bits) are
+//!   re-measured, each unordered pair in `(min, max)` order so the
+//!   measurement convention — and therefore every bit — matches the
+//!   from-scratch mirrored build.
+//! * Each viewer's center-sorted sweep candidate array stays warm across
+//!   ticks. A stationary viewer re-derives arcs only for moved users, merges
+//!   them into the sorted order, keeps every previous edge whose endpoints
+//!   both stand still (identical arcs ⇒ the exact predicate verdict cannot
+//!   change), and re-decides only pairs involving a moved arc with a
+//!   bidirectional bounded scan (`reach = hw + max_hw + SWEEP_MARGIN`, the
+//!   same conservative slack as the full sweep; when `2·reach ≥ τ` the arc
+//!   is tested against everyone). Every surviving pair still goes through
+//!   [`ViewArc::intersects`]. A viewer that moved at all — walked, was
+//!   snapped onto a new anchor, or teleported — falls back to a full
+//!   rebuild, which also re-warms its cache.
+//! * Unchanged structure is carried forward by pointer: [`SceneState`]
+//!   holds `Arc<UGraph>` per viewer, so a tick with *zero* movers clones the
+//!   whole previous state in O(viewers + n²-memcpy), and a stationary
+//!   viewer whose merged edge list equals the previous tick's reuses the
+//!   previous graph outright (an equal sorted-unique edge list constructs
+//!   an `Eq` graph, adjacency order included, so reuse is bitwise-invisible).
+//! * Candidate masks are *patched*, not recomputed: a stationary viewer
+//!   re-derives bits only for `affected` users (movers plus endpoints of
+//!   every added or dropped edge); everyone else's bit inputs — own
+//!   distance, neighbor set, neighbor distances — are unchanged, so the
+//!   previous bit is carried verbatim.
+//! * A low-coherence tick (more than half the users moved) skips the delta
+//!   machinery and takes the from-scratch build: it would re-decide nearly
+//!   everything anyway. The crossover is a pure cost heuristic — both
+//!   builds are bit-identical, so it is invisible to readers and oracles.
+
+use std::sync::Arc;
 
 use xr_datasets::Scenario;
 use xr_graph::geom::Point2;
@@ -88,7 +134,10 @@ pub struct SceneState {
     /// Flat row-major `n×n` symmetric distance matrix.
     distances: Vec<f64>,
     /// Static occlusion graph per *registered viewer* (slot order).
-    occlusion: Vec<UGraph>,
+    /// `Arc`-shared so the incremental path can carry an unchanged graph
+    /// into the next tick's state for a pointer bump instead of an O(n + m)
+    /// rebuild-or-clone; readers only ever see `&UGraph`.
+    occlusion: Vec<Arc<UGraph>>,
     /// Hybrid-participation candidate mask per registered viewer.
     candidate_mask: Vec<Vec<bool>>,
 }
@@ -115,7 +164,15 @@ impl SceneState {
     /// consumers take ownership of the heavy per-viewer structures instead
     /// of cloning them.
     pub fn into_parts(self) -> (Vec<Point2>, Vec<f64>, Vec<UGraph>, Vec<Vec<bool>>) {
-        (self.positions, self.distances, self.occlusion, self.candidate_mask)
+        let occlusion = self
+            .occlusion
+            .into_iter()
+            // a graph still shared with a retained neighbor tick (the
+            // incremental path reuses unchanged graphs by pointer) has to be
+            // cloned out; a uniquely held one is moved for free
+            .map(|g| Arc::try_unwrap(g).unwrap_or_else(|shared| (*shared).clone()))
+            .collect();
+        (self.positions, self.distances, occlusion, self.candidate_mask)
     }
 }
 
@@ -156,6 +213,36 @@ impl<'a> TargetView<'a> {
     }
 }
 
+/// One viewer's warm sweep state, carried across incremental ticks: the
+/// center-sorted candidate array the full sweep would rebuild per tick.
+#[derive(Debug, Clone, Default)]
+struct WarmViewer {
+    /// User ids sorted by the sweep key `(arc center, id)`.
+    order: Vec<usize>,
+    /// Arcs parallel to `order`.
+    arcs: Vec<ViewArc>,
+    /// Index of each user in `order`; `u32::MAX` when the user has no arc.
+    pos: Vec<u32>,
+}
+
+/// Reusable buffers for the incremental push path, kept on the engine so a
+/// long-running room allocates per-tick structures once.
+#[derive(Debug, Clone, Default)]
+struct IncrScratch {
+    moved_mask: Vec<bool>,
+    moved_ids: Vec<usize>,
+    /// Freshly derived arcs of moved users, sorted by the sweep key.
+    incoming: Vec<(ViewArc, usize)>,
+    order_buf: Vec<usize>,
+    arcs_buf: Vec<ViewArc>,
+    edges_new: Vec<(usize, usize)>,
+    edges_merged: Vec<(usize, usize)>,
+    /// Users whose candidate-mask entry must be re-derived for the current
+    /// viewer: moved users plus endpoints of every changed (added or
+    /// dropped) occlusion edge. Everyone else keeps the previous bit.
+    affected: Vec<bool>,
+}
+
 /// The streaming scene engine: feed it one [`Frame`] per tick, read shared
 /// state back through [`SceneEngine::state`] / [`SceneEngine::view`].
 ///
@@ -180,6 +267,16 @@ pub struct SceneEngine {
     /// Per-tick deadline tracking, when `AFTER_SLO_BUDGET_MS` (or
     /// [`SceneEngine::set_slo`]) configured a budget.
     slo: Option<xr_obs::SloTracker>,
+    /// `false` pins the from-scratch oracle path (`AFTER_INCREMENTAL=0`).
+    incremental: bool,
+    /// Snap radius for the shared ingest semantics (`AFTER_SNAP_EPS`).
+    snap_epsilon: f64,
+    /// Warm sweep state per slot; meaningful only while `warm_tick` is the
+    /// previous tick.
+    warm: Vec<WarmViewer>,
+    /// Tick the warm state describes, if any.
+    warm_tick: Option<usize>,
+    scratch: IncrScratch,
 }
 
 impl SceneEngine {
@@ -202,6 +299,7 @@ impl SceneEngine {
             }
         }
         let converter = OcclusionConverter::new(config.body_radius);
+        let warm = vec![WarmViewer::default(); unique.len()];
         SceneEngine {
             converter,
             config,
@@ -212,6 +310,11 @@ impl SceneEngine {
             base: 0,
             retain: None,
             slo: xr_obs::SloTracker::from_env("session.tick"),
+            incremental: crate::incremental_enabled(),
+            snap_epsilon: snap_epsilon_from_env(),
+            warm,
+            warm_tick: None,
+            scratch: IncrScratch::default(),
         }
     }
 
@@ -290,6 +393,42 @@ impl SceneEngine {
         self.slo.as_ref()
     }
 
+    /// Forces the maintenance path, overriding the `AFTER_INCREMENTAL`
+    /// default: `true` maintains state incrementally across ticks, `false`
+    /// rebuilds every tick from scratch (the differential oracle). Safe to
+    /// toggle mid-session — switching invalidates the warm caches, so the
+    /// next push rebuilds (and, when incremental, re-warms) from scratch.
+    pub fn set_incremental(&mut self, on: bool) {
+        if on != self.incremental {
+            self.warm_tick = None;
+        }
+        self.incremental = on;
+    }
+
+    /// Whether the engine maintains state incrementally.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Sets the ingest snap radius: a user whose raw position moved at most
+    /// `eps` from the previous tick's effective position keeps the previous
+    /// position exactly. Applied on *both* maintenance paths (shared ingest
+    /// semantics), so any epsilon preserves the bitwise oracle equality; the
+    /// default `0.0` makes snapping a numeric no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `eps` is negative or non-finite.
+    pub fn set_snap_epsilon(&mut self, eps: f64) {
+        assert!(eps.is_finite() && eps >= 0.0, "snap epsilon must be finite and non-negative");
+        self.snap_epsilon = eps;
+    }
+
+    /// The active ingest snap radius.
+    pub fn snap_epsilon(&self) -> f64 {
+        self.snap_epsilon
+    }
+
     /// Ingests one frame, computing the tick's shared [`SceneState`].
     /// Returns the tick index the frame landed on.
     ///
@@ -302,21 +441,58 @@ impl SceneEngine {
         // Instant::now only when someone will read the measurement
         let tick_start = self.slo.as_ref().map(|_| std::time::Instant::now());
         assert_eq!(frame.positions.len(), self.n, "frame has wrong participant count");
-        let positions = frame.positions;
-        let distances = pairwise_distances(&positions);
+        let mut positions = frame.positions;
 
-        let mut occlusion = Vec::with_capacity(self.viewers.len());
-        let mut candidate_mask = Vec::with_capacity(self.viewers.len());
-        let mut pair_tests = 0u64;
-        for &v in &self.viewers {
-            let arcs = self.converter.arcs(v, &positions);
-            let graph = sweep_occlusion_graph(&arcs, &mut pair_tests);
-            let row = &distances[v * self.n..(v + 1) * self.n];
-            let mask =
-                candidate_mask_from_shared(v, self.config.mr_mask[v], row, &graph, &self.config.mr_mask);
-            occlusion.push(graph);
-            candidate_mask.push(mask);
+        // shared ingest semantics: snap each user onto the previous tick's
+        // effective position unless the raw position moved beyond
+        // `snap_epsilon`, and record who (still) moved. Both maintenance
+        // paths see the snapped positions, so oracle equality holds for any
+        // epsilon.
+        let mut moved_mask = std::mem::take(&mut self.scratch.moved_mask);
+        let mut moved_ids = std::mem::take(&mut self.scratch.moved_ids);
+        moved_mask.clear();
+        moved_ids.clear();
+        if let Some(prev) = self.states.last() {
+            for (i, p) in positions.iter_mut().enumerate() {
+                let q = prev.positions[i];
+                if p.distance(q) <= self.snap_epsilon {
+                    *p = q;
+                }
+                let moved = p.x.to_bits() != q.x.to_bits() || p.y.to_bits() != q.y.to_bits();
+                moved_mask.push(moved);
+                if moved {
+                    moved_ids.push(i);
+                }
+            }
+        } else {
+            moved_mask.resize(self.n, true);
+            moved_ids.extend(0..self.n);
         }
+
+        // warm caches describe tick t−1 and the previous state is retained:
+        // the delta path is exact. Anything else (first tick, a mid-session
+        // path toggle) rebuilds from scratch, which also re-warms. A
+        // low-coherence tick (most users moved — a teleport storm, a scene
+        // reset) also takes the scratch build: the delta machinery would
+        // re-decide nearly everything anyway and only add merge overhead.
+        // Purely a cost heuristic — both builds are bit-identical, so the
+        // crossover choice is invisible to every reader and to the oracle.
+        let warm_valid = t > 0 && self.warm_tick == Some(t - 1) && !self.states.is_empty();
+        let low_coherence = moved_ids.len() * 2 > self.n;
+        let mut pair_tests = 0u64;
+        let state = if self.incremental && warm_valid && !low_coherence {
+            xr_obs::counter_add("session.incremental.ticks", &[], 1);
+            xr_obs::counter_add("session.incremental.moved", &[], moved_ids.len() as u64);
+            self.build_state_incremental(positions, &moved_mask, &moved_ids, &mut pair_tests)
+        } else {
+            self.build_state_scratch(positions, &mut pair_tests)
+        };
+        if self.incremental {
+            self.warm_tick = Some(t);
+        }
+        self.scratch.moved_mask = moved_mask;
+        self.scratch.moved_ids = moved_ids;
+
         // shared-state reuse telemetry: one tick serves every registered
         // viewer, and the sweep's exact-predicate evaluations replace
         // V·N(N−1)/2 brute-force tests
@@ -326,7 +502,7 @@ impl SceneEngine {
         let brute = (self.viewers.len() as u64) * (self.n as u64) * (self.n as u64 - 1) / 2;
         xr_obs::counter_add("session.sweep.pair_tests_saved", &[], brute.saturating_sub(pair_tests));
 
-        self.states.push(SceneState { n: self.n, positions, distances, occlusion, candidate_mask });
+        self.states.push(state);
         self.compact();
         if let (Some(slo), Some(start)) = (&mut self.slo, tick_start) {
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -339,6 +515,138 @@ impl SceneEngine {
             );
         }
         t
+    }
+
+    /// From-scratch tick build (the differential oracle). When the engine is
+    /// in incremental mode this also re-warms every viewer's sweep cache so
+    /// the next tick can take the delta path.
+    fn build_state_scratch(&mut self, positions: Vec<Point2>, pair_tests: &mut u64) -> SceneState {
+        let distances = pairwise_distances(&positions);
+        let mut warm = std::mem::take(&mut self.warm);
+        let mut occlusion = Vec::with_capacity(self.viewers.len());
+        let mut candidate_mask = Vec::with_capacity(self.viewers.len());
+        for (slot, &v) in self.viewers.iter().enumerate() {
+            let arcs = self.converter.arcs(v, &positions);
+            let graph = if self.incremental {
+                warm_full_build(&arcs, &mut warm[slot], pair_tests)
+            } else {
+                sweep_occlusion_graph(&arcs, pair_tests)
+            };
+            let row = &distances[v * self.n..(v + 1) * self.n];
+            let mask =
+                candidate_mask_from_shared(v, self.config.mr_mask[v], row, &graph, &self.config.mr_mask);
+            occlusion.push(Arc::new(graph));
+            candidate_mask.push(mask);
+        }
+        self.warm = warm;
+        SceneState { n: self.n, positions, distances, occlusion, candidate_mask }
+    }
+
+    /// Incremental tick build: O(Δ) in the number of moved users. Distances
+    /// are delta-updated row-wise; each stationary viewer's occlusion graph
+    /// is patched through its warm sweep cache; a moved viewer falls back to
+    /// a full (re-warming) rebuild. Bitwise-identical to
+    /// [`SceneEngine::build_state_scratch`] by construction — see the module
+    /// docs for the argument.
+    fn build_state_incremental(
+        &mut self,
+        positions: Vec<Point2>,
+        moved_mask: &[bool],
+        moved_ids: &[usize],
+        pair_tests: &mut u64,
+    ) -> SceneState {
+        let n = self.n;
+        let mut warm = std::mem::take(&mut self.warm);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let prev = self.states.last().expect("incremental push needs a retained previous state");
+
+        // nothing moved (every position snapped or stood still): the whole
+        // previous state is bit-identical, and the warm caches stay valid
+        if moved_ids.is_empty() {
+            let state = SceneState {
+                n,
+                positions,
+                distances: prev.distances.clone(),
+                occlusion: prev.occlusion.clone(),
+                candidate_mask: prev.candidate_mask.clone(),
+            };
+            self.warm = warm;
+            self.scratch = scratch;
+            return state;
+        }
+
+        // stationary pairs keep their previous (bit-identical) distance;
+        // moved rows re-measure each unordered pair in (min, max) endpoint
+        // order — the from-scratch convention — and mirror
+        let mut distances = prev.distances.clone();
+        for &i in moved_ids {
+            for j in 0..n {
+                if j != i {
+                    let (a, b) = (i.min(j), i.max(j));
+                    let v = positions[a].distance(positions[b]);
+                    distances[i * n + j] = v;
+                    distances[j * n + i] = v;
+                }
+            }
+        }
+
+        let mut occlusion = Vec::with_capacity(self.viewers.len());
+        let mut candidate_mask = Vec::with_capacity(self.viewers.len());
+        let mut rebuilt = 0u64;
+        for (slot, &v) in self.viewers.iter().enumerate() {
+            let row_range = v * n..(v + 1) * n;
+            let (graph, mask) = if moved_mask[v] {
+                // the viewer's own anchor moved: every arc it sees changed
+                rebuilt += 1;
+                let arcs = self.converter.arcs(v, &positions);
+                let graph = warm_full_build(&arcs, &mut warm[slot], pair_tests);
+                let mask = candidate_mask_from_shared(
+                    v,
+                    self.config.mr_mask[v],
+                    &distances[row_range],
+                    &graph,
+                    &self.config.mr_mask,
+                );
+                (Arc::new(graph), mask)
+            } else {
+                // `None`: the merged edge set came out identical to the
+                // previous tick's, so the previous graph is carried forward
+                // by pointer (it compares `Eq` by construction)
+                let graph = match warm_delta_update(
+                    v,
+                    &positions,
+                    &self.converter,
+                    &prev.occlusion[slot],
+                    &mut warm[slot],
+                    moved_mask,
+                    moved_ids,
+                    &mut scratch,
+                    pair_tests,
+                ) {
+                    Some(g) => Arc::new(g),
+                    None => Arc::clone(&prev.occlusion[slot]),
+                };
+                // `warm_delta_update` left the viewer's affected set in
+                // `scratch.affected`; everyone outside it keeps the
+                // previous mask bit verbatim
+                let mask = mask_delta_update(
+                    &prev.candidate_mask[slot],
+                    v,
+                    self.config.mr_mask[v],
+                    &distances[row_range],
+                    &graph,
+                    &self.config.mr_mask,
+                    &scratch.affected,
+                );
+                (graph, mask)
+            };
+            occlusion.push(graph);
+            candidate_mask.push(mask);
+        }
+        xr_obs::counter_add("session.incremental.viewers_rebuilt", &[], rebuilt);
+        self.warm = warm;
+        self.scratch = scratch;
+        SceneState { n, positions, distances, occlusion, candidate_mask }
     }
 
     /// Convenience: pushes every tick of a scenario's trajectory.
@@ -415,16 +723,30 @@ fn pairwise_distances(positions: &[Point2]) -> Vec<f64> {
 /// the exact [`ViewArc::intersects`] predicate and inserted in sorted order,
 /// reproducing the brute-force graph structurally.
 fn sweep_occlusion_graph(arcs: &[Option<ViewArc>], pair_tests: &mut u64) -> UGraph {
-    let n = arcs.len();
-    let mut order: Vec<usize> = (0..n).filter(|&w| arcs[w].is_some()).collect();
+    let mut order = Vec::new();
+    let mut sorted = Vec::new();
+    sorted_arc_order(arcs, &mut order, &mut sorted);
+    sweep_edges_from_sorted(arcs.len(), &order, &sorted, pair_tests)
+}
+
+/// Fills `order` with the ids of users that have an arc, sorted by the sweep
+/// key `(center, id)`, and `sorted` with their arcs in the same order —
+/// compact arrays so the hot loop never touches the Option-boxed arc slice.
+fn sorted_arc_order(arcs: &[Option<ViewArc>], order: &mut Vec<usize>, sorted: &mut Vec<ViewArc>) {
+    order.clear();
+    order.extend((0..arcs.len()).filter(|&w| arcs[w].is_some()));
     order.sort_by(|&a, &b| arcs[a].unwrap().center.total_cmp(&arcs[b].unwrap().center).then(a.cmp(&b)));
+    sorted.clear();
+    sorted.extend(order.iter().map(|&w| arcs[w].unwrap()));
+}
+
+/// The sweep proper, over a pre-sorted arc array (see
+/// [`sweep_occlusion_graph`] for the semantics and pruning argument).
+fn sweep_edges_from_sorted(n: usize, order: &[usize], sorted: &[ViewArc], pair_tests: &mut u64) -> UGraph {
     let m = order.len();
     if m < 2 {
         return UGraph::new(n);
     }
-    // compact sorted arrays: the hot loop touches only these, not the
-    // Option-boxed arc slice
-    let sorted: Vec<ViewArc> = order.iter().map(|&w| arcs[w].unwrap()).collect();
     let max_half_width = sorted.iter().map(|a| a.half_width).fold(f64::NEG_INFINITY, f64::max);
 
     let mut edges: Vec<(usize, usize)> = Vec::new();
@@ -471,6 +793,251 @@ fn sweep_occlusion_graph(arcs: &[Option<ViewArc>], pair_tests: &mut u64) -> UGra
     UGraph::from_sorted_unique_edges(n, edges)
 }
 
+/// Full sweep that also (re)warms one viewer's cache with the sorted arc
+/// arrays it builds anyway.
+fn warm_full_build(arcs: &[Option<ViewArc>], warm: &mut WarmViewer, pair_tests: &mut u64) -> UGraph {
+    let n = arcs.len();
+    sorted_arc_order(arcs, &mut warm.order, &mut warm.arcs);
+    warm.pos.clear();
+    warm.pos.resize(n, u32::MAX);
+    for (s, &w) in warm.order.iter().enumerate() {
+        warm.pos[w] = s as u32;
+    }
+    sweep_edges_from_sorted(n, &warm.order, &warm.arcs, pair_tests)
+}
+
+/// Patches one *stationary* viewer's occlusion graph through its warm sweep
+/// cache, O(moved · log + affected) instead of O(n log n + pairs):
+///
+/// 1. Arcs are re-derived only for moved users and merged into the
+///    center-sorted order (kept entries and incoming entries are each sorted
+///    by the sweep key, so the merge reproduces the full sort exactly).
+/// 2. Previous edges whose endpoints both stand still are kept verbatim —
+///    their arcs are bit-identical, so the exact predicate's verdict cannot
+///    change. Their sorted stream merges with the freshly decided moved-pair
+///    edges (disjoint sets) into the full build's insertion order.
+/// 3. Each moved arc is re-tested against neighbors within the same
+///    conservative `reach` the full sweep uses, scanning outward in both
+///    directions with wrap-around; if the slack covers the whole circle the
+///    arc is tested against everyone. Every surviving pair is decided by the
+///    exact [`ViewArc::intersects`] predicate.
+///
+/// Returns `None` when the merged edge list is identical to `prev_graph`'s —
+/// under bounded motion the common case — so the caller can carry the
+/// previous graph forward by `Arc` pointer instead of paying the O(n + m)
+/// allocation-heavy [`UGraph`] construction. `from_sorted_unique_edges` of
+/// an equal edge list yields a graph that compares `Eq` (adjacency order
+/// included), so pointer reuse is bitwise-invisible to every reader.
+#[allow(clippy::too_many_arguments)]
+fn warm_delta_update(
+    viewer: usize,
+    positions: &[Point2],
+    converter: &OcclusionConverter,
+    prev_graph: &UGraph,
+    warm: &mut WarmViewer,
+    moved_mask: &[bool],
+    moved_ids: &[usize],
+    scratch: &mut IncrScratch,
+    pair_tests: &mut u64,
+) -> Option<UGraph> {
+    let n = positions.len();
+
+    // who can change a candidate-mask bit for this viewer: moved users, plus
+    // endpoints of every changed (added or dropped) edge — filled as the
+    // delta is decided below and consumed by `mask_delta_update`
+    let affected = &mut scratch.affected;
+    affected.clear();
+    affected.resize(n, false);
+    for &w in moved_ids {
+        affected[w] = true;
+    }
+
+    let incoming = &mut scratch.incoming;
+    incoming.clear();
+    for &w in moved_ids {
+        debug_assert_ne!(w, viewer, "a moved viewer takes the full-rebuild path");
+        if let Some(arc) = converter.arc(positions[viewer], positions[w]) {
+            incoming.push((arc, w));
+        }
+    }
+    incoming.sort_by(|x, y| x.0.center.total_cmp(&y.0.center).then(x.1.cmp(&y.1)));
+
+    let (order_buf, arcs_buf) = (&mut scratch.order_buf, &mut scratch.arcs_buf);
+    order_buf.clear();
+    arcs_buf.clear();
+    {
+        let mut old = warm.order.iter().zip(warm.arcs.iter()).filter(|&(&w, _)| !moved_mask[w]).peekable();
+        let mut new = incoming.iter().peekable();
+        loop {
+            let take_old = match (old.peek(), new.peek()) {
+                (Some(&(&wo, ao)), Some(&&(an, wn))) => {
+                    ao.center.total_cmp(&an.center).then(wo.cmp(&wn)).is_lt()
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_old {
+                let (&w, &a) = old.next().unwrap();
+                order_buf.push(w);
+                arcs_buf.push(a);
+            } else {
+                let &(a, w) = new.next().unwrap();
+                order_buf.push(w);
+                arcs_buf.push(a);
+            }
+        }
+    }
+    std::mem::swap(&mut warm.order, order_buf);
+    std::mem::swap(&mut warm.arcs, arcs_buf);
+    warm.pos.clear();
+    warm.pos.resize(n, u32::MAX);
+    for (s, &w) in warm.order.iter().enumerate() {
+        warm.pos[w] = s as u32;
+    }
+
+    let m = warm.order.len();
+    let edges_new = &mut scratch.edges_new;
+    edges_new.clear();
+    if m >= 2 {
+        let max_half_width = warm.arcs.iter().map(|a| a.half_width).fold(f64::NEG_INFINITY, f64::max);
+        for &(aw, w) in incoming.iter() {
+            let reach = aw.half_width + max_half_width + SWEEP_MARGIN;
+            let s = warm.pos[w] as usize;
+            if 2.0 * reach >= std::f64::consts::TAU {
+                // an engulfing arc's slack covers the circle: the two
+                // directional scans would overlap, so test everyone once
+                for (sj, aj) in warm.arcs.iter().enumerate() {
+                    if sj != s {
+                        *pair_tests += 1;
+                        if aw.intersects(aj) {
+                            let u = warm.order[sj];
+                            edges_new.push((w.min(u), w.max(u)));
+                        }
+                    }
+                }
+                continue;
+            }
+            // an intersecting partner sits within `reach` of `aw` on at
+            // least one side (angle_diff is the min circular gap, and
+            // intersection bounds it by hw_w + hw_u ≤ hw_w + max_hw); gaps
+            // are nondecreasing along each directional lap, so scanning
+            // until the first out-of-reach arc visits every candidate.
+            // 2·reach < τ keeps the two laps disjoint (forward + backward
+            // gap of a pair always sums to τ).
+            let mut sj = s + 1;
+            let mut lift = 0.0;
+            loop {
+                if sj == m {
+                    if lift > 0.0 {
+                        break;
+                    }
+                    sj = 0;
+                    lift = std::f64::consts::TAU;
+                    continue;
+                }
+                if lift > 0.0 && sj == s {
+                    break;
+                }
+                if warm.arcs[sj].center - aw.center + lift > reach {
+                    break;
+                }
+                *pair_tests += 1;
+                if aw.intersects(&warm.arcs[sj]) {
+                    let u = warm.order[sj];
+                    edges_new.push((w.min(u), w.max(u)));
+                }
+                sj += 1;
+            }
+            let mut sj = s as isize - 1;
+            let mut lift = 0.0;
+            loop {
+                if sj < 0 {
+                    if lift > 0.0 {
+                        break;
+                    }
+                    sj = m as isize - 1;
+                    lift = std::f64::consts::TAU;
+                    continue;
+                }
+                if lift > 0.0 && sj == s as isize {
+                    break;
+                }
+                let aj = &warm.arcs[sj as usize];
+                if aw.center - aj.center + lift > reach {
+                    break;
+                }
+                *pair_tests += 1;
+                if aw.intersects(aj) {
+                    let u = warm.order[sj as usize];
+                    edges_new.push((w.min(u), w.max(u)));
+                }
+                sj -= 1;
+            }
+        }
+    }
+    // a pair of two moved users is found from both endpoints' scans
+    edges_new.sort_unstable();
+    edges_new.dedup();
+    for &(a, b) in edges_new.iter() {
+        affected[a] = true;
+        affected[b] = true;
+    }
+    // endpoints of dropped previous edges (any edge touching a mover was
+    // discarded and re-decided; if it did not come back it changed)
+    for (a, b) in prev_graph.edges() {
+        if moved_mask[a] || moved_mask[b] {
+            affected[a] = true;
+            affected[b] = true;
+        }
+    }
+
+    // retained (stationary-pair) edges and freshly decided moved-pair edges
+    // are disjoint sorted runs; the merge is the full build's sorted order
+    let merged = &mut scratch.edges_merged;
+    merged.clear();
+    let mut old = prev_graph.edges().filter(|&(a, b)| !moved_mask[a] && !moved_mask[b]).peekable();
+    let mut new = edges_new.iter().copied().peekable();
+    loop {
+        match (old.peek(), new.peek()) {
+            (Some(&eo), Some(&en)) => {
+                if eo < en {
+                    merged.push(eo);
+                    old.next();
+                } else {
+                    merged.push(en);
+                    new.next();
+                }
+            }
+            (Some(&eo), None) => {
+                merged.push(eo);
+                old.next();
+            }
+            (None, Some(&en)) => {
+                merged.push(en);
+                new.next();
+            }
+            (None, None) => break,
+        }
+    }
+    if merged.len() == prev_graph.edge_count() && merged.iter().copied().eq(prev_graph.edges()) {
+        return None;
+    }
+    Some(UGraph::from_sorted_unique_edges(n, merged.clone()))
+}
+
+/// Snap epsilon from `AFTER_SNAP_EPS` (meters); unset, unparsable, negative,
+/// or non-finite values fall back to `0.0` (snapping as a numeric no-op).
+fn snap_epsilon_from_env() -> f64 {
+    match std::env::var("AFTER_SNAP_EPS") {
+        Ok(s) => match s.trim().parse::<f64>() {
+            Ok(v) if v.is_finite() && v >= 0.0 => v,
+            _ => 0.0,
+        },
+        Err(_) => 0.0,
+    }
+}
+
 /// Candidate mask `m_t` for one viewer, derived from the shared state: the
 /// legacy semantics (a physically present MR participant standing strictly
 /// nearer in an overlapping arc prunes the candidate) with "overlapping arc"
@@ -490,18 +1057,47 @@ fn candidate_mask_from_shared(
     }
     #[allow(clippy::needless_range_loop)] // w is a user id, not a position
     for w in 0..n {
-        if w == viewer {
-            continue;
+        if w != viewer {
+            mask[w] = mask_entry(viewer, distances, occlusion, mr_mask, w);
         }
-        // no arc: coincident with the viewer (same 1e-9 cutoff as `arc()`)
-        if distances[w] < 1e-9 {
-            mask[w] = false;
-            continue;
-        }
-        let blocked =
-            occlusion.neighbors(w).iter().any(|&u| u != viewer && mr_mask[u] && distances[u] < distances[w]);
-        if blocked {
-            mask[w] = false;
+    }
+    mask
+}
+
+/// One candidate-mask bit: whether user `w` survives the MR-viewer pruning
+/// rule. The single source of truth shared by the from-scratch mask build
+/// and the incremental patcher.
+fn mask_entry(viewer: usize, distances: &[f64], occlusion: &UGraph, mr_mask: &[bool], w: usize) -> bool {
+    // no arc: coincident with the viewer (same 1e-9 cutoff as `arc()`)
+    if distances[w] < 1e-9 {
+        return false;
+    }
+    !occlusion.neighbors(w).iter().any(|&u| u != viewer && mr_mask[u] && distances[u] < distances[w])
+}
+
+/// Patches a stationary viewer's candidate mask in O(|affected|) bit
+/// re-derivations. A user's bit depends only on its own distance to the
+/// viewer, its occlusion neighbors, and those neighbors' distances — all
+/// bit-identical to the previous tick unless the user moved or one of its
+/// incident occlusion edges changed, which is exactly the `affected` set
+/// `warm_delta_update` leaves behind.
+fn mask_delta_update(
+    prev_mask: &[bool],
+    viewer: usize,
+    viewer_is_mr: bool,
+    distances: &[f64],
+    occlusion: &UGraph,
+    mr_mask: &[bool],
+    affected: &[bool],
+) -> Vec<bool> {
+    let mut mask = prev_mask.to_vec();
+    if !viewer_is_mr {
+        // non-MR viewers have a tick-invariant mask (all true bar themselves)
+        return mask;
+    }
+    for w in 0..mask.len() {
+        if w != viewer && affected[w] {
+            mask[w] = mask_entry(viewer, distances, occlusion, mr_mask, w);
         }
     }
     mask
@@ -690,6 +1286,166 @@ mod tests {
             assert_eq!(a.occlusion, b.occlusion, "t={t}");
             assert_eq!(a.candidate_mask, b.candidate_mask, "t={t}");
         }
+    }
+
+    /// Bounded random walk with teleports: the workload the incremental path
+    /// exists for. `mover_frac` of the users take a small step each tick,
+    /// teleports land anywhere in the room.
+    fn coherent_frames(
+        n: usize,
+        ticks: usize,
+        side: f64,
+        mover_frac: f64,
+        teleport_prob: f64,
+        seed: u64,
+    ) -> Vec<Vec<Point2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cur = random_positions(n, side, seed ^ 0xABCD);
+        let mut frames = vec![cur.clone()];
+        for _ in 1..ticks {
+            for p in cur.iter_mut() {
+                if rng.gen_bool(teleport_prob) {
+                    *p = Point2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+                } else if rng.gen_bool(mover_frac) {
+                    let (dx, dy) = (rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1));
+                    *p = Point2::new((p.x + dx).clamp(0.0, side), (p.y + dy).clamp(0.0, side));
+                }
+            }
+            frames.push(cur.clone());
+        }
+        frames
+    }
+
+    fn assert_states_bitwise_equal(a: &SceneState, b: &SceneState, ctx: &str) {
+        assert_eq!(a.positions, b.positions, "{ctx}: positions");
+        let da: Vec<u64> = a.distances.iter().map(|d| d.to_bits()).collect();
+        let db: Vec<u64> = b.distances.iter().map(|d| d.to_bits()).collect();
+        assert_eq!(da, db, "{ctx}: distance bits");
+        assert_eq!(a.occlusion, b.occlusion, "{ctx}: occlusion (UGraph Eq)");
+        assert_eq!(a.candidate_mask, b.candidate_mask, "{ctx}: candidate masks");
+    }
+
+    #[test]
+    fn incremental_path_is_bitwise_identical_to_from_scratch() {
+        for seed in 0..8u64 {
+            let n = 10 + (seed as usize % 15);
+            let frames = coherent_frames(n, 12, 6.0, 0.3, 0.05, 900 + seed);
+            let mut inc = engine_for(n, 3, 0.25);
+            inc.set_incremental(true);
+            let mut scratch = engine_for(n, 3, 0.25);
+            scratch.set_incremental(false);
+            for f in &frames {
+                inc.push(Frame::new(f.clone()));
+                scratch.push(Frame::new(f.clone()));
+            }
+            for t in 0..frames.len() {
+                assert_states_bitwise_equal(inc.state(t), scratch.state(t), &format!("seed {seed}, t={t}"));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_path_handles_fully_static_and_fully_teleporting_frames() {
+        let n = 14;
+        // frame 1 repeats frame 0 exactly (everyone stationary), frame 2
+        // teleports everyone, frame 3 repeats frame 2
+        let f0 = random_positions(n, 5.0, 77);
+        let f2 = random_positions(n, 5.0, 78);
+        let frames = vec![f0.clone(), f0, f2.clone(), f2];
+        let mut inc = engine_for(n, 2, 0.25);
+        inc.set_incremental(true);
+        let mut scratch = engine_for(n, 2, 0.25);
+        scratch.set_incremental(false);
+        for f in &frames {
+            inc.push(Frame::new(f.clone()));
+            scratch.push(Frame::new(f.clone()));
+        }
+        for t in 0..frames.len() {
+            assert_states_bitwise_equal(inc.state(t), scratch.state(t), &format!("t={t}"));
+        }
+    }
+
+    #[test]
+    fn incremental_with_retention_one_still_matches_the_oracle() {
+        // retention=1 compacts everything but the newest state right after
+        // each push — the previous-state lookup must still see tick t−1
+        let n = 12;
+        let frames = coherent_frames(n, 10, 6.0, 0.4, 0.1, 55);
+        let mut inc = engine_for(n, 2, 0.25);
+        inc.set_incremental(true);
+        inc.set_state_retention(Some(1));
+        let mut scratch = engine_for(n, 2, 0.25);
+        scratch.set_incremental(false);
+        for f in &frames {
+            inc.push(Frame::new(f.clone()));
+            scratch.push(Frame::new(f.clone()));
+        }
+        let last = frames.len() - 1;
+        assert_eq!(inc.first_retained_tick(), last);
+        assert_states_bitwise_equal(inc.state(last), scratch.state(last), "retention=1 final tick");
+    }
+
+    #[test]
+    fn toggling_incremental_mid_session_rebuilds_cleanly() {
+        let n = 12;
+        let frames = coherent_frames(n, 9, 6.0, 0.4, 0.1, 66);
+        let mut toggled = engine_for(n, 2, 0.25);
+        let mut scratch = engine_for(n, 2, 0.25);
+        scratch.set_incremental(false);
+        for (t, f) in frames.iter().enumerate() {
+            // flip the path every third tick: stale warm caches must never
+            // leak across the switch
+            toggled.set_incremental((t / 3) % 2 == 0);
+            toggled.push(Frame::new(f.clone()));
+            scratch.push(Frame::new(f.clone()));
+        }
+        for t in 0..frames.len() {
+            assert_states_bitwise_equal(toggled.state(t), scratch.state(t), &format!("t={t}"));
+        }
+    }
+
+    #[test]
+    fn snap_epsilon_is_shared_ingest_semantics_on_both_paths() {
+        // with a positive epsilon, sub-epsilon jitter snaps to the previous
+        // effective position on BOTH paths — and the paths agree bitwise
+        let n = 10;
+        let mut rng = StdRng::seed_from_u64(99);
+        let base = random_positions(n, 5.0, 99);
+        let mut frames = vec![base.clone()];
+        for _ in 1..8 {
+            let prev = frames.last().unwrap().clone();
+            let jittered: Vec<Point2> = prev
+                .iter()
+                .map(|p| Point2::new(p.x + rng.gen_range(-1e-4..1e-4), p.y + rng.gen_range(-1e-4..1e-4)))
+                .collect();
+            frames.push(jittered);
+        }
+        let mut inc = engine_for(n, 2, 0.25);
+        inc.set_incremental(true);
+        inc.set_snap_epsilon(1e-3);
+        let mut scratch = engine_for(n, 2, 0.25);
+        scratch.set_incremental(false);
+        scratch.set_snap_epsilon(1e-3);
+        for f in &frames {
+            inc.push(Frame::new(f.clone()));
+            scratch.push(Frame::new(f.clone()));
+        }
+        for t in 0..frames.len() {
+            assert_states_bitwise_equal(inc.state(t), scratch.state(t), &format!("t={t}"));
+            // jitter stays under the snap radius: everyone holds position
+            assert_eq!(inc.state(t).positions(), inc.state(0).positions(), "t={t}: snapped still");
+        }
+        // zero epsilon leaves raw positions untouched (numeric no-op)
+        let mut raw = engine_for(n, 2, 0.25);
+        raw.push(Frame::new(frames[0].clone()));
+        raw.push(Frame::new(frames[1].clone()));
+        assert_eq!(raw.state(1).positions(), &frames[1][..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_snap_epsilon_panics() {
+        engine_for(4, 2, 0.25).set_snap_epsilon(-1.0);
     }
 
     #[test]

@@ -37,3 +37,14 @@ pub use serve32::{arc_f32, candidate_mask_f32, distance_row_f32, occlusion_graph
 pub fn streaming_enabled() -> bool {
     std::env::var("AFTER_STREAMING").map(|v| v != "0").unwrap_or(true)
 }
+
+/// Whether scene state is maintained *incrementally* across ticks (the
+/// default): delta distance rows for moved users, warm center-sorted sweep
+/// candidates per viewer, and MIA edge-deltas downstream. Controlled by
+/// `AFTER_INCREMENTAL` (`0` selects the from-scratch rebuild, kept as the
+/// differential oracle); both paths are pinned bit-identical by the
+/// `xr_check` `IncrementalVsFromScratch` subject and the golden-replay CI
+/// matrix. [`SceneEngine::set_incremental`] overrides per engine.
+pub fn incremental_enabled() -> bool {
+    std::env::var("AFTER_INCREMENTAL").map(|v| v != "0").unwrap_or(true)
+}

@@ -342,6 +342,59 @@ impl CsrAdj {
         CsrAdj { rows: self.cols, cols: self.rows, row_ptr, col_idx, vals }
     }
 
+    /// A copy with the given rows' entries replaced — the CSR row-surgery
+    /// primitive behind delta-maintained adjacency operators. Unlisted rows
+    /// are copied verbatim (bit for bit); for each row in `rows`, `build` is
+    /// called once to push the replacement `(col, value)` entries.
+    ///
+    /// `rows` must be strictly ascending and in range; `build` must push
+    /// entries in strictly ascending column order (debug-asserted), so the
+    /// result satisfies the same invariants [`CsrAdj::from_entries`]
+    /// establishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` is not strictly ascending in-range, or when `build`
+    /// pushes an out-of-range column.
+    pub fn with_rows_replaced(
+        &self,
+        rows: &[usize],
+        mut build: impl FnMut(usize, &mut Vec<(usize, f64)>),
+    ) -> CsrAdj {
+        assert!(rows.iter().all(|&r| r < self.rows), "replaced row out of bounds");
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "replaced rows must be strictly ascending");
+        let timer = xr_obs::start_timer();
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        let mut next = rows.iter().copied().peekable();
+        for r in 0..self.rows {
+            if next.peek() == Some(&r) {
+                next.next();
+                scratch.clear();
+                build(r, &mut scratch);
+                debug_assert!(
+                    scratch.windows(2).all(|w| w[0].0 < w[1].0),
+                    "replacement entries must have strictly ascending columns"
+                );
+                for &(c, v) in &scratch {
+                    assert!(c < self.cols, "replacement entry ({r},{c}) out of bounds");
+                    col_idx.push(c);
+                    vals.push(v);
+                }
+            } else {
+                let span = self.row_ptr[r]..self.row_ptr[r + 1];
+                col_idx.extend_from_slice(&self.col_idx[span.clone()]);
+                vals.extend_from_slice(&self.vals[span]);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        xr_obs::observe_since("xr_tensor.csr.row_surgery.ms", &[], timer);
+        CsrAdj { rows: self.rows, cols: self.cols, row_ptr, col_idx, vals }
+    }
+
     /// Row-normalized copy: each non-empty row scaled to sum to 1
     /// (mean aggregation, `D⁻¹A`).
     pub fn row_normalized(&self) -> CsrAdj {
@@ -480,6 +533,32 @@ mod tests {
         let via_sparse = LinOp::apply(&csr, &x);
         assert!(via_dense.approx_eq(&via_sparse, 1e-12));
         assert_eq!(LinOp::shape(&a_dense), LinOp::shape(&csr));
+    }
+
+    #[test]
+    fn with_rows_replaced_matches_a_fresh_build() {
+        let before = CsrAdj::from_entries(4, 4, &[(0, 1, 1.0), (0, 3, 2.0), (1, 0, 1.0), (3, 2, 5.0)]);
+        // replace rows 0 and 3; rows 1 and 2 must be copied bit for bit
+        let after = before.with_rows_replaced(&[0, 3], |r, out| {
+            if r == 0 {
+                out.push((2, 7.0));
+            } else {
+                out.push((0, 1.0));
+                out.push((1, 1.0));
+            }
+        });
+        let fresh = CsrAdj::from_entries(4, 4, &[(0, 2, 7.0), (1, 0, 1.0), (3, 0, 1.0), (3, 1, 1.0)]);
+        assert_eq!(after, fresh, "row surgery must reproduce the from-scratch CSR exactly");
+        // replacing with an empty set clears the row
+        let cleared = before.with_rows_replaced(&[1], |_, _| {});
+        assert_eq!(cleared.row_entries(1).count(), 0);
+        assert_eq!(cleared.nnz(), before.nnz() - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn with_rows_replaced_rejects_unsorted_rows() {
+        CsrAdj::empty(3, 3).with_rows_replaced(&[2, 1], |_, _| {});
     }
 
     #[test]

@@ -3,12 +3,13 @@
 
 use after_xr::poshgnn::{evaluate_sequence, TargetContext};
 use after_xr::xr_crowd::Room;
-use after_xr::xr_datasets::{Interface, Scenario};
+use after_xr::xr_datasets::{generate_trajectories_with_motion, Interface, MotionProfile, Scenario};
 use after_xr::xr_graph::geom::Point2;
 use after_xr::xr_graph::{gig_to_dog, mwis_exact, mwis_greedy, DiskGig, OcclusionConverter};
+use after_xr::xr_session::{Frame, SceneConfig, SceneEngine};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Random positions inside a 10×10 room, none coincident with index 0.
 fn positions_strategy(n: usize) -> impl Strategy<Value = Vec<Point2>> {
@@ -105,6 +106,85 @@ proptest! {
         for w in (1..12).step_by(2) {
             if vis_all[w] {
                 prop_assert!(vis_half[w], "user {w} lost visibility when blockers were removed");
+            }
+        }
+    }
+
+    /// Incremental O(Δ) scene maintenance is an optimization, not an
+    /// approximation: under coherence-swept ORCA walks (bounded steps,
+    /// teleports, dwells) plus mid-session join/leave churn — modeled as
+    /// teleports to and from a shared lobby point — every tick's state is
+    /// bit-identical to the from-scratch oracle's.
+    #[test]
+    fn incremental_scene_state_is_bitwise_from_scratch(
+        seed in 0u64..10_000,
+        teleport in 0.0f64..0.4,
+        dwell in 0.0f64..0.5,
+        step_cap in 0.05f64..1.5,
+        churn in 0.0f64..0.3,
+        jitter in 0.0f64..0.05,
+        snap in 0.0f64..0.1,
+    ) {
+        let (n, ticks) = (10usize, 6usize);
+        let room = Room::new(8.0, 8.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = MotionProfile {
+            max_step: Some(step_cap),
+            teleport_prob: teleport,
+            dwell_prob: dwell,
+            jitter,
+        };
+        let mut frames = generate_trajectories_with_motion(n, ticks, room, 0.25, &profile, &mut rng);
+        // join/leave churn on a fixed frame width: absent users park at a
+        // shared lobby point far outside the room
+        let lobby = Point2::new(30.0, 30.0);
+        let mut present = vec![true; n];
+        for frame in frames.iter_mut().skip(1) {
+            for i in 0..n {
+                if rng.gen_range(0.0..1.0) < churn {
+                    present[i] = !present[i];
+                }
+                if !present[i] {
+                    frame[i] = lobby;
+                }
+            }
+        }
+
+        let scene = SceneConfig {
+            body_radius: 0.25,
+            mr_mask: (0..n).map(|i| i % 2 == 0).collect(),
+            room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+        };
+        let viewers = [0usize, 4, 7];
+        // snapping is shared ingest semantics: set on both engines, equality
+        // must hold for any epsilon (including one absorbing the jitter)
+        let mut inc = SceneEngine::new(n, scene.clone(), &viewers);
+        inc.set_incremental(true);
+        inc.set_snap_epsilon(snap);
+        let mut oracle = SceneEngine::new(n, scene, &viewers);
+        oracle.set_incremental(false);
+        oracle.set_snap_epsilon(snap);
+        for frame in &frames {
+            inc.push(Frame::new(frame.clone()));
+            oracle.push(Frame::new(frame.clone()));
+        }
+        for t in 0..frames.len() {
+            let (si, so) = (inc.state(t), oracle.state(t));
+            for i in 0..n {
+                for (j, (a, b)) in si.distance_row(i).iter().zip(so.distance_row(i)).enumerate() {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "distance[{}][{}] at t={}: incremental {:?} vs scratch {:?}", i, j, t, a, b
+                    );
+                }
+            }
+            for &v in &viewers {
+                let (vi, vo) = (inc.view(v, t), oracle.view(v, t));
+                prop_assert_eq!(vi.occlusion(), vo.occlusion(), "viewer {} occlusion at t={}", v, t);
+                prop_assert_eq!(
+                    vi.candidate_mask(), vo.candidate_mask(),
+                    "viewer {} candidate mask at t={}", v, t
+                );
             }
         }
     }

@@ -169,6 +169,19 @@ fn vr_targets_see_everyone_and_still_never_themselves() {
 
 #[test]
 fn decisions_never_depend_on_future_frames() {
+    assert_no_lookahead();
+}
+
+#[test]
+fn decisions_never_depend_on_future_frames_under_either_maintenance_mode() {
+    // Incremental O(Δ) scene maintenance carries warm per-viewer caches
+    // across ticks; the no-lookahead contract must survive both the warm
+    // path and the from-scratch oracle.
+    xr_check::golden::with_incremental(true, assert_no_lookahead);
+    xr_check::golden::with_incremental(false, assert_no_lookahead);
+}
+
+fn assert_no_lookahead() {
     // The stepwise contract: a view at tick t exposes only ticks 0..=t, so
     // rewriting the world strictly after t_cut must leave every decision at
     // or before t_cut untouched — for every method in the workspace.
