@@ -997,6 +997,22 @@ pub struct MultiRoomCase {
     pub workers: usize,
 }
 
+/// The sequential-reference decision rule, payload-agnostic: dense views
+/// decide with [`xr_serve::decide_topk_f64`]; pruned views (env
+/// `AFTER_PRUNE_K` legs) decide on their shortlist — exactly the branch the
+/// room scheduler takes.
+fn decide_for_view(view: &xr_session::TargetView, n: usize, k: usize) -> Vec<bool> {
+    if let Some(cs) = view.candidates() {
+        let mut out = vec![false; n];
+        for w in cs.decide_topk(k) {
+            out[w as usize] = true;
+        }
+        out
+    } else {
+        xr_serve::decide_topk_f64(view.candidate_mask(), view.distances(), k)
+    }
+}
+
 /// The multi-room scheduler ([`xr_serve::RoomServer`], no SLO budget so the
 /// degradation ladder and shedding stay inert) vs. the obvious sequential
 /// reference: one bare [`xr_session::SceneEngine`] per room fed the same
@@ -1109,8 +1125,7 @@ impl DiffSubject for MultiRoomVsSequential {
                 }
                 for (vi, &viewer) in viewers.iter().enumerate() {
                     let view = engine.view(viewer, t);
-                    let expect =
-                        xr_serve::decide_topk_f64(view.candidate_mask(), view.distances(), room.top_k);
+                    let expect = decide_for_view(&view, room.n, room.top_k);
                     if decision.per_viewer[vi] != expect {
                         return Some(StepDivergence {
                             step: t,
@@ -1123,6 +1138,16 @@ impl DiffSubject for MultiRoomVsSequential {
                     // the retained engine state itself must be bit-identical
                     let diverged = server.with_room(ids[slot], |served| {
                         let sv = served.engine().view(viewer, t);
+                        // pruned engines (env AFTER_PRUNE_K legs) retain
+                        // shortlists instead of dense rows — compare those
+                        if let (Some(a), Some(b)) = (sv.candidates(), view.candidates()) {
+                            if a != b {
+                                return Some(format!(
+                                    "room {slot} viewer {viewer} shortlist at t={t}: scheduler {a:?} vs sequential {b:?}"
+                                ));
+                            }
+                            return None;
+                        }
                         for (w, (a, b)) in sv.distances().iter().zip(view.distances()).enumerate() {
                             if a.to_bits() != b.to_bits() {
                                 return Some(format!(
@@ -1294,6 +1319,10 @@ impl DiffSubject for IncrementalVsFromScratch {
             let mut engine = SceneEngine::new(case.n, scene.clone(), &case.viewers);
             engine.set_incremental(incremental);
             engine.set_state_retention(case.retention);
+            // this subject pins the *dense* incremental path and sweeps dense
+            // distance rows, so it opts out of env-driven pruning; the pruned
+            // path has its own subject (PrunedVsFull)
+            engine.set_prune_k(0);
             engine
         };
         let mut inc = build(true);
@@ -1400,6 +1429,283 @@ impl DiffSubject for IncrementalVsFromScratch {
             case.viewers,
             case.top_k,
             case.retention
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session pair: K-candidate pruned maintenance vs. full-N scene state.
+// ---------------------------------------------------------------------------
+
+/// A crowd-style scene workload for the pruning contract: bounded walks with
+/// lobby churn and teleports, compared at two shortlist sizes.
+#[derive(Debug, Clone)]
+pub struct PrunedSceneCase {
+    /// Participant count (fixed frame width).
+    pub n: usize,
+    /// Registered viewers (unique, ascending, all `< n`).
+    pub viewers: Vec<usize>,
+    /// Recommendation size for the decision stream.
+    pub top_k: usize,
+    /// A *small* shortlist size (`< n − 1`) for the serving-K agreement leg.
+    pub serve_k: usize,
+    /// MR participation mask.
+    pub mr_mask: Vec<bool>,
+    /// Whether the engines run incremental maintenance.
+    pub incremental: bool,
+    /// Positions per tick, `frames[t]` of length `n`.
+    pub frames: Vec<Vec<Point2>>,
+}
+
+/// The K-candidate pruned scene engine (`set_prune_k(K)`: per-viewer
+/// shortlists from the hierarchical spatial index, no dense N×N state) vs.
+/// the full-N engine (`set_prune_k(0)`) on the same frame stream. Two legs:
+///
+/// * **Full K** (`K = N − 1`): pruning is exact — shortlist membership is
+///   complete, member distances / mask bits are bitwise equal to the dense
+///   rows, restricted occlusion edges equal the full edge set, and the
+///   top-k decision stream is identical.
+/// * **Serving K** (`K < N − 1`): pruning is an approximation whose ranking
+///   must still be faithful — the mean top-k overlap between the full and
+///   pruned nearest-candidate rankings, at the prefix both sides can serve
+///   (`k = min(5, visible candidates on either side)`), must stay at or
+///   above `min_top_k_agreement` (0.9). Because every mask-true candidate
+///   nearer than the shortlist boundary is a member (the K-nearest closure),
+///   this prefix agrees *exactly* when the engine is correct; the floor
+///   catches selection, tie-break, and member-mask bugs. How often K leaves
+///   enough visible candidates for a full top-5 (coverage) is a workload
+///   property, measured by the `crowd_scale` benchmark, not this subject.
+///   Viewers whose whole shortlist sits bitwise-coincident with them (a user
+///   parked inside the lobby stack) are excluded: a proximity shortlist is
+///   definitionally uninformative there — every member is at distance ~0 and
+///   masked by the coincidence rule — and a parked user is not being served.
+pub struct PrunedVsFull {
+    /// Mean top-k agreement floor for the serving-K leg.
+    pub min_top_k_agreement: f64,
+}
+
+impl Default for PrunedVsFull {
+    fn default() -> Self {
+        PrunedVsFull { min_top_k_agreement: 0.9 }
+    }
+}
+
+impl DiffSubject for PrunedVsFull {
+    type Case = PrunedSceneCase;
+
+    fn pair(&self) -> String {
+        "session: K-candidate pruned vs full-N scene".to_string()
+    }
+
+    fn generate(&self, rng: &mut StdRng) -> PrunedSceneCase {
+        let (n, ticks) = (6usize..20, 3usize..8).generate(rng);
+        let viewer_count = (1usize..4).generate(rng).min(n);
+        let mut viewers: Vec<usize> = (0..viewer_count).map(|_| (0usize..n).generate(rng)).collect();
+        viewers.sort_unstable();
+        viewers.dedup();
+        let top_k = (1usize..6).generate(rng);
+        let serve_k = ((2 * n).div_ceil(3).max(5)..n).generate(rng).min(n - 1);
+        let mr_mask: Vec<bool> = (0..n).map(|_| (0u32..2).generate(rng) == 1).collect();
+        let incremental = (0u32..2).generate(rng) == 1;
+        let (teleport_prob, churn_prob) = (0.0f64..0.3, 0.0f64..0.3).generate(rng);
+        let step = (0.02f64..0.8).generate(rng);
+        let lobby = Point2::new(20.0, 20.0);
+        let in_room_pos = |rng: &mut StdRng| -> Point2 {
+            Point2::new((-4.0f64..4.0).generate(rng), (-4.0f64..4.0).generate(rng))
+        };
+        let mut in_room: Vec<bool> = (0..n).map(|_| (0u32..4).generate(rng) != 0).collect();
+        let mut current: Vec<Point2> =
+            (0..n).map(|i| if in_room[i] { in_room_pos(rng) } else { lobby }).collect();
+        let mut frames = vec![current.clone()];
+        for _ in 1..ticks {
+            for i in 0..n {
+                if (0.0f64..1.0).generate(rng) < churn_prob {
+                    in_room[i] = !in_room[i];
+                    current[i] = if in_room[i] { in_room_pos(rng) } else { lobby };
+                } else if !in_room[i] {
+                    // parked: bitwise stationary
+                } else if (0.0f64..1.0).generate(rng) < teleport_prob {
+                    current[i] = in_room_pos(rng);
+                } else {
+                    let (dx, dy) = (-step..step, -step..step).generate(rng);
+                    current[i] = Point2::new(
+                        (current[i].x + dx).clamp(-4.0, 4.0),
+                        (current[i].y + dy).clamp(-4.0, 4.0),
+                    );
+                }
+            }
+            frames.push(current.clone());
+        }
+        PrunedSceneCase { n, viewers, top_k, serve_k, mr_mask, incremental, frames }
+    }
+
+    fn compare(&self, case: &PrunedSceneCase) -> Option<StepDivergence> {
+        use xr_session::{Frame, SceneConfig, SceneEngine};
+
+        let scene = SceneConfig {
+            body_radius: 0.2,
+            mr_mask: case.mr_mask.clone(),
+            room_diagonal: 8.0 * std::f64::consts::SQRT_2,
+        };
+        let build = |prune_k: usize| {
+            let mut engine = SceneEngine::new(case.n, scene.clone(), &case.viewers);
+            engine.set_incremental(case.incremental);
+            engine.set_prune_k(prune_k);
+            engine
+        };
+        let mut full = build(0);
+        let mut pruned_full = build(case.n - 1);
+        let mut pruned_serve = build(case.serve_k);
+
+        let mut agreement_sum = 0.0;
+        let mut agreement_count = 0usize;
+        for (t, frame) in case.frames.iter().enumerate() {
+            full.push(Frame::new(frame.clone()));
+            pruned_full.push(Frame::new(frame.clone()));
+            pruned_serve.push(Frame::new(frame.clone()));
+            for &viewer in &case.viewers {
+                let vf = full.view(viewer, t);
+                let vp = pruned_full.view(viewer, t);
+                let cs = vp.candidates().expect("prune_k = n-1 builds shortlists");
+                // full-K leg: membership is complete…
+                if cs.ids().len() != case.n - 1 {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "viewer {viewer} t={t}: full-K shortlist holds {} of {} candidates",
+                            cs.ids().len(),
+                            case.n - 1
+                        ),
+                    });
+                }
+                // …distances and mask bits are bitwise the dense rows…
+                for (idx, &w) in cs.ids().iter().enumerate() {
+                    let (a, b) = (cs.distances()[idx], vf.distances()[w as usize]);
+                    if a.to_bits() != b.to_bits() {
+                        return Some(StepDivergence {
+                            step: t,
+                            detail: format!(
+                                "viewer {viewer} distance to {w} at t={t}: pruned {a:?} vs full {b:?}"
+                            ),
+                        });
+                    }
+                    if cs.mask()[idx] != vf.candidate_mask()[w as usize] {
+                        return Some(StepDivergence {
+                            step: t,
+                            detail: format!(
+                                "viewer {viewer} mask[{w}] at t={t}: pruned {} vs full {}",
+                                cs.mask()[idx],
+                                vf.candidate_mask()[w as usize]
+                            ),
+                        });
+                    }
+                }
+                // …the restricted occlusion graph is the full edge set…
+                let full_edges: Vec<(u32, u32)> =
+                    vf.occlusion().edges().map(|(a, b)| (a as u32, b as u32)).collect();
+                if cs.edges() != full_edges.as_slice() {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!(
+                            "viewer {viewer} occlusion at t={t}: pruned {:?} vs full {:?}",
+                            cs.edges(),
+                            full_edges
+                        ),
+                    });
+                }
+                // …and the decision stream is identical
+                let df = xr_serve::decide_topk_f64(vf.candidate_mask(), vf.distances(), case.top_k);
+                let dp = decide_for_view(&vp, case.n, case.top_k);
+                if df != dp {
+                    return Some(StepDivergence {
+                        step: t,
+                        detail: format!("viewer {viewer} decision at t={t}: pruned {dp:?} vs full {df:?}"),
+                    });
+                }
+
+                // serving-K leg: rank candidates by proximity on both sides
+                // and accumulate top-k agreement
+                let vs = pruned_serve.view(viewer, t);
+                let ss = vs.candidates().expect("prune_k > 0 builds shortlists");
+                if ss.distances().iter().fold(0.0f64, |m, &d| m.max(d)) < 1e-9 {
+                    // lobby-stacked viewer: the shortlist is all coincident
+                    continue;
+                }
+                let mut full_score = vec![f64::NEG_INFINITY; case.n];
+                let mut pruned_score = vec![f64::NEG_INFINITY; case.n];
+                for (w, score) in full_score.iter_mut().enumerate() {
+                    if w != viewer && vf.candidate_mask()[w] {
+                        *score = -vf.distances()[w];
+                    }
+                }
+                for (idx, &w) in ss.ids().iter().enumerate() {
+                    if ss.mask()[idx] {
+                        pruned_score[w as usize] = -ss.distances()[idx];
+                    }
+                }
+                let visible = |s: &[f64]| s.iter().filter(|v| v.is_finite()).count();
+                let k = 5.min(visible(&full_score)).min(visible(&pruned_score));
+                if k > 0 {
+                    agreement_sum += crate::metrics::top_k_overlap(&full_score, &pruned_score, k);
+                    agreement_count += 1;
+                }
+            }
+        }
+        if agreement_count > 0 {
+            let mean = agreement_sum / agreement_count as f64;
+            if mean < self.min_top_k_agreement {
+                return Some(StepDivergence {
+                    step: case.frames.len(),
+                    detail: format!(
+                        "serving-K leg (K={}): mean top-5 agreement {mean:.3} < {:.2}",
+                        case.serve_k, self.min_top_k_agreement
+                    ),
+                });
+            }
+        }
+        None
+    }
+
+    fn shrink(&self, case: &PrunedSceneCase) -> Vec<PrunedSceneCase> {
+        let mut out = Vec::new();
+        if case.frames.len() > 2 {
+            out.push(PrunedSceneCase {
+                frames: case.frames[..case.frames.len() / 2].to_vec(),
+                ..case.clone()
+            });
+            out.push(PrunedSceneCase { frames: case.frames[1..].to_vec(), ..case.clone() });
+        }
+        if case.n > 6 {
+            let n = (case.n / 2).max(6);
+            let mut viewers: Vec<usize> = case.viewers.iter().copied().filter(|&v| v < n).collect();
+            if viewers.is_empty() {
+                viewers.push(0);
+            }
+            out.push(PrunedSceneCase {
+                n,
+                viewers,
+                top_k: case.top_k,
+                serve_k: case.serve_k.min(n - 1),
+                mr_mask: case.mr_mask[..n].to_vec(),
+                incremental: case.incremental,
+                frames: case.frames.iter().map(|f| f[..n].to_vec()).collect(),
+            });
+        }
+        if case.incremental {
+            out.push(PrunedSceneCase { incremental: false, ..case.clone() });
+        }
+        out
+    }
+
+    fn describe(&self, case: &PrunedSceneCase) -> String {
+        format!(
+            "n={} users, {} ticks, viewers {:?}, top_k={}, serve_k={}, incremental={}",
+            case.n,
+            case.frames.len(),
+            case.viewers,
+            case.top_k,
+            case.serve_k,
+            case.incremental
         )
     }
 }

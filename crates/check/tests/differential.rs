@@ -4,8 +4,8 @@
 
 use xr_check::diff::{
     assert_no_divergence, CachedVsFreshMia, IncrementalVsFromScratch, MatmulNaiveVsBlocked,
-    MultiRoomVsSequential, OrcaGridVsBrute, PooledVsFreshTape, SerialVsParallelRunner, ServeF32VsF64,
-    SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
+    MultiRoomVsSequential, OrcaGridVsBrute, PooledVsFreshTape, PrunedVsFull, SerialVsParallelRunner,
+    ServeF32VsF64, SparseVsDensePoshGnn, SpmmVsDense, StreamingVsPrecomputed,
 };
 
 /// ≥ 256 cases per kernel pair (the acceptance bar for this harness).
@@ -66,6 +66,13 @@ fn incremental_scene_maintenance_matches_from_scratch_bitwise() {
     // vs. the from-scratch oracle: bitwise-clean across teleports, lobby
     // churn, and retention windows down to a single state
     assert_no_divergence(&IncrementalVsFromScratch, KERNEL_CASES);
+}
+
+#[test]
+fn pruned_scene_matches_full_n_bitwise_at_sufficient_k() {
+    // K = N−1 pins bitwise identity (membership, distances, masks, edges,
+    // decisions); the small serving-K leg pins the top-5 agreement floor
+    assert_no_divergence(&PrunedVsFull::default(), KERNEL_CASES);
 }
 
 #[test]

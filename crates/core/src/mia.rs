@@ -11,6 +11,14 @@
 //! * hybrid-participation mask `m_t (N × 1)` pruning candidates physically
 //!   occluded by co-located MR participants;
 //! * the dense adjacency `A_t` of the static occlusion graph.
+//!
+//! Under a crowd-scale pruned engine (`AFTER_PRUNE_K > 0`), the contexts MIA
+//! consumes carry occlusion graphs restricted to each viewer's K-candidate
+//! shortlist. Nothing here changes: the structural-difference embedding's
+//! edge-deltas `A_t − A_{t−1}` then involve only shortlist pairs by
+//! construction, non-member rows of `x̂_t`/`Δ_t` are zero through the zeroed
+//! mask and empty adjacency rows, and at `K ≥ N−1` the restricted graphs are
+//! the full graphs, so every output is bitwise identical to the dense path.
 
 use std::rc::Rc;
 

@@ -39,6 +39,13 @@ pub struct TargetContext {
     /// when rendering `w` would be ineffective because a *physically
     /// present* co-located MR participant stands nearer in the same arc.
     pub candidate_mask: Vec<Vec<bool>>,
+    /// Per-tick candidate shortlists (`shortlists[t]` = the target's
+    /// K-nearest member ids, ascending) when the backing engine ran in
+    /// crowd-scale pruned mode (`AFTER_PRUNE_K > 0`); `None` on the full-N
+    /// and legacy paths. When present, `occlusion[t]` / `candidate_mask[t]`
+    /// are the densified restriction to these members — users outside the
+    /// shortlist are not candidates, per the candidate-set contract.
+    pub shortlists: Option<Vec<Vec<usize>>>,
     /// Preference utilities `p(v, ·)`.
     pub preference: Vec<f64>,
     /// Social-presence utilities `s(v, ·)`.
@@ -116,6 +123,29 @@ impl TargetContext {
         Self::from_engine(scenario, engine, requests, &[])
     }
 
+    /// Distributes an already-ingested engine's shared state into contexts,
+    /// one per `(target, beta)` request — the entry point for callers that
+    /// own and configure their engine (e.g. crowd-scale pruned serving via
+    /// [`SceneEngine::set_prune_k`]). Every requested target must have been
+    /// registered as a viewer at engine construction. When the engine ran
+    /// pruned, each context's [`TargetContext::shortlists`] records the
+    /// per-tick membership and the dense fields hold the densified
+    /// restriction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the engine's participant count differs from the
+    /// scenario's, a target is out of range or unregistered, or a beta
+    /// `∉ [0,1]`.
+    pub fn with_engine(scenario: &Scenario, engine: SceneEngine, requests: &[(usize, f64)]) -> Vec<Self> {
+        for &(target, beta) in requests {
+            assert!(target < scenario.n(), "target {target} out of range");
+            assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        }
+        assert_eq!(engine.n(), scenario.n(), "engine/scenario participant count mismatch");
+        Self::from_engine(scenario, engine, requests, &[])
+    }
+
     /// Distributes an ingested engine's shared per-tick state into compat
     /// contexts, one per request. The heavy per-viewer structures (occlusion
     /// graphs, candidate masks) are *moved* out of the engine — each slot's
@@ -151,6 +181,7 @@ impl TargetContext {
                 occlusion: Vec::with_capacity(frames),
                 distances: Vec::with_capacity(frames),
                 candidate_mask: Vec::with_capacity(frames),
+                shortlists: None,
                 preference: scenario.preference[target].clone(),
                 social: scenario.social[target].clone(),
                 mr_mask: mr_mask.clone(),
@@ -161,6 +192,20 @@ impl TargetContext {
             .collect();
 
         for state in engine.into_states() {
+            // capture each requester's shortlist membership before the
+            // pruned state is densified by into_parts
+            if state.is_pruned() {
+                for (ctx, &slot) in contexts.iter_mut().zip(&slots) {
+                    let ids: Vec<usize> = state
+                        .candidates(slot)
+                        .expect("pruned state has a shortlist per slot")
+                        .ids()
+                        .iter()
+                        .map(|&w| w as usize)
+                        .collect();
+                    ctx.shortlists.get_or_insert_with(Vec::new).push(ids);
+                }
+            }
             let (_positions, dist_flat, occlusion, masks) = state.into_parts();
             let mut occlusion: Vec<Option<UGraph>> = occlusion.into_iter().map(Some).collect();
             let mut masks: Vec<Option<Vec<bool>>> = masks.into_iter().map(Some).collect();
@@ -223,6 +268,7 @@ impl TargetContext {
             occlusion,
             distances,
             candidate_mask,
+            shortlists: None,
             preference: scenario.preference[target].clone(),
             social: scenario.social[target].clone(),
             mr_mask,
@@ -424,6 +470,52 @@ pub(crate) mod tests {
     #[test]
     fn batch_of_nothing_is_empty() {
         assert!(TargetContext::batch(&scenario(false), &[]).is_empty());
+    }
+
+    #[test]
+    fn pruned_engine_context_at_full_k_matches_the_default_bitwise() {
+        // a pruned engine with a complete shortlist (K ≥ n−1) must densify
+        // into exactly the context the default path builds — the
+        // AFTER_PRUNE_K oracle seen from the recommend stack
+        let scenario = scenario(true);
+        let requests = [(0usize, 0.5f64), (1, 0.3)];
+        let viewers: Vec<usize> = requests.iter().map(|&(t, _)| t).collect();
+        let mut engine = SceneEngine::for_scenario(&scenario, &viewers);
+        engine.set_prune_k(scenario.n() - 1);
+        engine.push_scenario(&scenario);
+        let pruned = TargetContext::with_engine(&scenario, engine, &requests);
+        let default = TargetContext::batch(&scenario, &requests);
+        for (p, d) in pruned.iter().zip(&default) {
+            assert_eq!(p.occlusion, d.occlusion);
+            assert_eq!(p.candidate_mask, d.candidate_mask);
+            for (a, b) in p.distances.iter().flatten().zip(d.distances.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // complete membership recorded per tick
+            let shortlists = p.shortlists.as_ref().expect("pruned engine records shortlists");
+            assert_eq!(shortlists.len(), p.positions.len());
+            for ids in shortlists {
+                assert_eq!(ids.len(), p.n - 1);
+            }
+            assert!(d.shortlists.is_none(), "default path stays dense");
+        }
+    }
+
+    #[test]
+    fn pruned_engine_context_at_serving_k_restricts_candidates_to_members() {
+        let scenario = scenario(true);
+        let mut engine = SceneEngine::for_scenario(&scenario, &[0]);
+        engine.set_prune_k(2);
+        engine.push_scenario(&scenario);
+        let ctx = TargetContext::with_engine(&scenario, engine, &[(0, 0.5)]).pop().unwrap();
+        let shortlists = ctx.shortlists.as_ref().unwrap();
+        for (t, mask) in ctx.candidate_mask.iter().enumerate() {
+            for (w, &bit) in mask.iter().enumerate() {
+                if !shortlists[t].contains(&w) {
+                    assert!(!bit, "non-member {w} leaked into the mask at t={t}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,12 +11,15 @@
 //!   embeddings" MIA consumes), an alternative preference signal.
 //! * [`scenario`] — participants, MR/VR interfaces, ORCA trajectories.
 //! * [`catalog`] — the three dataset analogues with paper-default configs.
+//! * [`venue`] — crowd-scale stadium/concert generators (N = 10k–100k) with
+//!   zoned density, join/leave churn, teleports, and multi-room portal hops.
 
 pub mod catalog;
 pub mod embedding;
 pub mod generators;
 pub mod scenario;
 pub mod utility;
+pub mod venue;
 
 pub use catalog::{Dataset, DatasetKind};
 pub use embedding::{spectral_embedding, SpectralEmbedding};
@@ -25,3 +28,4 @@ pub use scenario::{
     ScenarioConfig,
 };
 pub use utility::PreferenceModel;
+pub use venue::{MultiVenue, VenueConfig, VenueKind, VenueSim, VenueZone};

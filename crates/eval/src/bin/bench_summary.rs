@@ -4,9 +4,11 @@
 //! uncached training epochs, the matmul dispatch crossover table, shared
 //! scene-engine context builds, the f64-train / f32-serve recommend split,
 //! incremental O(Δ) scene maintenance vs. from-scratch across coherence
-//! levels, and the cost of running with observability installed vs. without.
+//! levels, crowd-scale K-candidate pruned serving vs. dense full-N on
+//! stadium frames, and the cost of running with observability installed vs.
+//! without.
 //!
-//! Writes one JSON summary (default `BENCH_pr9.json` at the workspace root,
+//! Writes one JSON summary (default `BENCH_pr10.json` at the workspace root,
 //! next to `Cargo.toml`; override with `--out=PATH`) via the `xr_obs` JSON
 //! exporter and prints it to stdout. All "before" numbers are the
 //! pre-overhaul code paths, which are kept callable behind flags
@@ -672,8 +674,107 @@ fn bench_incremental_scene() -> Json {
     Json::from(rows)
 }
 
+/// Crowd-scale serving: the K-candidate pruned scene path (hierarchical
+/// spatial index + per-viewer shortlists, `AFTER_PRUNE_K`-equivalent) vs.
+/// the dense full-N build, on stadium frames from the venue generator.
+/// The full arm is skipped at N = 50k — a dense N×N distance matrix alone
+/// is 20 GB there, which is the point of the pruned path — and runs with
+/// retention 1 (the serving posture) where it does run. Each timed tick
+/// includes the per-viewer top-k decisions, so the rows are end-to-end
+/// frame→recommendation serving cost.
+fn bench_crowd_scale() -> Json {
+    use xr_datasets::{VenueConfig, VenueSim};
+    use xr_session::{Frame, SceneConfig, SceneEngine};
+
+    let viewer_count = 16usize;
+    let ks = [64usize, 256];
+    // (n, timed ticks, run the dense full-N arm?)
+    let configs: [(usize, usize, bool); 3] = [(1000, 12, true), (10_000, 6, true), (50_000, 3, false)];
+
+    let rows: Vec<Json> = configs
+        .iter()
+        .map(|&(n, ticks, full_arm)| {
+            let venue = VenueConfig::stadium(n, 0xBEEF);
+            let mut sim = VenueSim::new(venue);
+            let frames: Vec<Vec<_>> = (0..=ticks).map(|_| sim.next_frame()).collect();
+            let scene = SceneConfig {
+                body_radius: venue.body_radius,
+                mr_mask: venue.mr_mask(),
+                room_diagonal: venue.room_diagonal(),
+            };
+            let viewers: Vec<usize> = (0..viewer_count).map(|i| i * (n / viewer_count)).collect();
+
+            // per-tick wall times for one arm; the decision per viewer is
+            // inside the measurement (that's what a serving tick does)
+            let run = |prune_k: usize| -> Vec<f64> {
+                let mut engine = SceneEngine::new(n, scene.clone(), &viewers);
+                engine.set_prune_k(prune_k);
+                engine.set_state_retention(Some(1));
+                engine.push(Frame::new(frames[0].clone()));
+                let mut samples = Vec::with_capacity(ticks);
+                for f in &frames[1..] {
+                    let frame = Frame::new(f.clone());
+                    let start = Instant::now();
+                    let t = engine.push(frame);
+                    for &v in engine.viewers() {
+                        let view = engine.view(v, t);
+                        let decision = if let Some(cs) = view.candidates() {
+                            let mut out = vec![false; n];
+                            for w in cs.decide_topk(5) {
+                                out[w as usize] = true;
+                            }
+                            out
+                        } else {
+                            xr_serve::decide_topk_f64(view.candidate_mask(), view.distances(), 5)
+                        };
+                        std::hint::black_box(decision);
+                    }
+                    samples.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                samples
+            };
+            let stats = |samples: &[f64]| -> (f64, f64) {
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                let mut sorted = samples.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let p99 = sorted[((sorted.len() as f64 * 0.99).ceil() as usize - 1).min(sorted.len() - 1)];
+                (mean, p99)
+            };
+
+            let full_ms = if full_arm {
+                let (mean, _) = stats(&run(0));
+                Some(mean)
+            } else {
+                None
+            };
+            let k_rows: Vec<Json> = ks
+                .iter()
+                .map(|&k| {
+                    let (mean, p99) = stats(&run(k));
+                    let mut row = Json::obj()
+                        .set("k", k as u64)
+                        .set("pruned_ms_per_tick", num3(mean))
+                        .set("p99_ms", num3(p99))
+                        .set("frames_per_s", num3(1e3 / mean));
+                    if let Some(full) = full_ms {
+                        row = row.set("speedup", num3(full / mean));
+                    }
+                    row
+                })
+                .collect();
+            let mut row =
+                Json::obj().set("n", n as u64).set("ticks", ticks as u64).set("viewers", viewer_count as u64);
+            if let Some(full) = full_ms {
+                row = row.set("full_ms_per_tick", num3(full));
+            }
+            row.set("pruned", Json::from(k_rows))
+        })
+        .collect();
+    Json::from(rows)
+}
+
 /// Output path for the summary: `--out=PATH` (or `--out PATH`) on the
-/// command line, default `BENCH_pr9.json` at the workspace root.
+/// command line, default `BENCH_pr10.json` at the workspace root.
 fn out_path() -> std::path::PathBuf {
     let root = results_dir().parent().map(|p| p.to_path_buf()).unwrap_or_default();
     let mut args = std::env::args().skip(1);
@@ -687,38 +788,40 @@ fn out_path() -> std::path::PathBuf {
             }
         }
     }
-    root.join("BENCH_pr9.json")
+    root.join("BENCH_pr10.json")
 }
 
 fn main() {
     let mut obs = xr_obs::init_cli_env();
     let path = out_path();
-    eprintln!("[1/13] blocked vs naive matmul");
+    eprintln!("[1/14] blocked vs naive matmul");
     let matmul = bench_matmul();
-    eprintln!("[2/13] sparse vs dense aggregation (SpMM)");
+    eprintln!("[2/14] sparse vs dense aggregation (SpMM)");
     let spmm = bench_spmm();
-    eprintln!("[3/13] grid vs brute-force crowd neighbors");
+    eprintln!("[3/14] grid vs brute-force crowd neighbors");
     let crowd = bench_crowd();
-    eprintln!("[4/13] POSHGNN recommend step, sparse vs dense kernels");
+    eprintln!("[4/14] POSHGNN recommend step, sparse vs dense kernels");
     let posh = bench_poshgnn_step();
-    eprintln!("[5/13] comparison runner, 1 thread vs all cores");
+    eprintln!("[5/14] comparison runner, 1 thread vs all cores");
     let runner = bench_parallel_runner();
-    eprintln!("[6/13] train epoch, MIA cache + tape arena vs uncached");
+    eprintln!("[6/14] train epoch, MIA cache + tape arena vs uncached");
     let train_epoch = bench_train_epoch();
-    eprintln!("[7/13] tape arena reuse vs fresh tape per episode");
+    eprintln!("[7/14] tape arena reuse vs fresh tape per episode");
     let tape_reuse = bench_tape_reuse();
-    eprintln!("[8/13] adaptive matmul dispatch crossover");
+    eprintln!("[8/14] adaptive matmul dispatch crossover");
     let dispatch = bench_matmul_dispatch();
-    eprintln!("[9/13] scene build, shared engine vs per-target precompute");
+    eprintln!("[9/14] scene build, shared engine vs per-target precompute");
     let scene_build = bench_scene_build();
-    eprintln!("[10/13] recommend step, f64 inference vs f32 serving");
+    eprintln!("[10/14] recommend step, f64 inference vs f32 serving");
     let recommend_serve = bench_recommend_serve();
-    eprintln!("[11/13] observability overhead, installed ctx vs none");
+    eprintln!("[11/14] observability overhead, installed ctx vs none");
     let obs_overhead = bench_obs_overhead();
-    eprintln!("[12/13] multi-room serving: 1k rooms on the worker pool");
+    eprintln!("[12/14] multi-room serving: 1k rooms on the worker pool");
     let multi_room = bench_multi_room();
-    eprintln!("[13/13] incremental scene maintenance vs from-scratch, coherence sweep");
+    eprintln!("[13/14] incremental scene maintenance vs from-scratch, coherence sweep");
     let incremental_scene = bench_incremental_scene();
+    eprintln!("[14/14] crowd-scale serving: K-candidate pruned vs dense full-N");
+    let crowd_scale = bench_crowd_scale();
 
     // force SIMD detection so the fact lands in the run metadata
     let _ = xr_tensor::simd_enabled();
@@ -736,6 +839,7 @@ fn main() {
         .set("obs_overhead", obs_overhead)
         .set("multi_room", multi_room)
         .set("incremental_scene", incremental_scene)
+        .set("crowd_scale", crowd_scale)
         .set("meta", xr_obs::meta::run_metadata());
     let text = summary.pretty();
     println!("{text}");

@@ -31,7 +31,9 @@
 //! differential suites pin, since degradation decisions depend on wall
 //! clock.
 
-use xr_session::serve32::{candidate_mask_f32, distance_row_f32, occlusion_graph_f32};
+use xr_session::serve32::{
+    candidate_mask_f32, candidate_mask_f32_shortlist, distance_row_f32, occlusion_graph_f32, shortlist_f32,
+};
 use xr_session::{Frame, SceneConfig, SceneEngine};
 
 use crate::mailbox::FrameMailbox;
@@ -92,13 +94,20 @@ pub struct RoomConfig {
     /// long-running room must not accumulate every tick), `None` keeps all
     /// (what the differential/replay suites use to inspect history).
     pub retain_states: Option<usize>,
+    /// Crowd-scale shortlist size handed to [`SceneEngine::set_prune_k`]:
+    /// `Some(k)` makes the room's engine build per-viewer K-candidate
+    /// shortlists instead of dense full-scene state (and the f32 rung serve
+    /// from the same shortlists), `None` inherits the process-wide
+    /// `AFTER_PRUNE_K` default. Stadium-scale rooms must set this — the
+    /// dense path allocates an N×N distance matrix per retained tick.
+    pub prune_k: Option<usize>,
 }
 
 impl RoomConfig {
     /// A room with serving defaults: top-5 recommendations, a 4-frame
     /// mailbox, and 2 retained scene states.
     pub fn new(n: usize, scene: SceneConfig, viewers: Vec<usize>) -> RoomConfig {
-        RoomConfig { n, scene, viewers, top_k: 5, mailbox_capacity: 4, retain_states: Some(2) }
+        RoomConfig { n, scene, viewers, top_k: 5, mailbox_capacity: 4, retain_states: Some(2), prune_k: None }
     }
 }
 
@@ -173,6 +182,9 @@ impl Room {
         // ladder level); an engine-level tracker would double-count
         engine.set_slo(None);
         engine.set_state_retention(config.retain_states);
+        if let Some(k) = config.prune_k {
+            engine.set_prune_k(k);
+        }
         let viewers = engine.viewers().to_vec();
         let mailbox = FrameMailbox::new(config.mailbox_capacity);
         Room {
@@ -256,27 +268,69 @@ impl Room {
                     .iter()
                     .map(|&v| {
                         let view = engine.view(v, t);
-                        decide_topk_f64(view.candidate_mask(), view.distances(), k)
+                        if let Some(cs) = view.candidates() {
+                            // pruned engine: the shortlist already carries the
+                            // mask and distances of its K members
+                            let mut out = vec![false; engine.n()];
+                            for w in cs.decide_topk(k) {
+                                out[w as usize] = true;
+                            }
+                            out
+                        } else {
+                            decide_topk_f64(view.candidate_mask(), view.distances(), k)
+                        }
                     })
                     .collect()
             }
             ServeLevel::ServeF32 => {
                 self.load_f32(&frame);
+                let prune_k = self.engine.prune_k();
                 let mut row = vec![0.0f32; self.config.n];
                 self.viewers
                     .iter()
                     .map(|&v| {
                         distance_row_f32(self.xs[v], self.ys[v], &self.xs, &self.ys, &mut row);
-                        let graph =
-                            occlusion_graph_f32(v, &self.xs, &self.ys, self.config.scene.body_radius as f32);
-                        let mask = candidate_mask_f32(
-                            v,
-                            self.config.scene.mr_mask[v],
-                            &row,
-                            &graph,
-                            &self.config.scene.mr_mask,
-                        );
-                        decide_topk_f32(&mask, &row, self.config.top_k)
+                        if prune_k > 0 {
+                            // pruned f32 rung: shortlist the K nearest, then
+                            // run the occlusion mask on members only — O(N + K²)
+                            let ids = shortlist_f32(v, &row, prune_k);
+                            let mask = candidate_mask_f32_shortlist(
+                                v,
+                                self.config.scene.mr_mask[v],
+                                &ids,
+                                &row,
+                                &self.xs,
+                                &self.ys,
+                                self.config.scene.body_radius as f32,
+                                &self.config.scene.mr_mask,
+                            );
+                            let mut members: Vec<u32> =
+                                ids.iter().zip(&mask).filter(|&(_, &m)| m).map(|(&w, _)| w).collect();
+                            members.sort_by(|&a, &b| {
+                                row[a as usize].total_cmp(&row[b as usize]).then(a.cmp(&b))
+                            });
+                            members.truncate(self.config.top_k);
+                            let mut out = vec![false; self.config.n];
+                            for w in members {
+                                out[w as usize] = true;
+                            }
+                            out
+                        } else {
+                            let graph = occlusion_graph_f32(
+                                v,
+                                &self.xs,
+                                &self.ys,
+                                self.config.scene.body_radius as f32,
+                            );
+                            let mask = candidate_mask_f32(
+                                v,
+                                self.config.scene.mr_mask[v],
+                                &row,
+                                &graph,
+                                &self.config.scene.mr_mask,
+                            );
+                            decide_topk_f32(&mask, &row, self.config.top_k)
+                        }
                     })
                     .collect()
             }
@@ -405,6 +459,70 @@ mod tests {
         let view = reference.view(0, 0);
         let expect = decide_topk_f64(view.candidate_mask(), view.distances(), 5);
         assert_eq!(d.per_viewer[0], expect);
+    }
+
+    #[test]
+    fn pruned_room_at_full_k_matches_the_dense_room() {
+        let n = 12;
+        let mut dense = room(n, None);
+        let scene = dense.config().scene.clone();
+        let mut config = RoomConfig::new(n, scene, vec![0, 1]);
+        config.prune_k = Some(n - 1);
+        let mut pruned = Room::new(config, None);
+        for i in 0..6 {
+            let f = frame(n, 100 + i);
+            let d_dense = dense.process(i, f.clone());
+            let d_pruned = pruned.process(i, f);
+            assert_eq!(d_pruned.per_viewer, d_dense.per_viewer, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn pruned_room_serves_from_the_shortlist_at_small_k() {
+        let n = 16;
+        let scene = SceneConfig {
+            body_radius: 0.25,
+            mr_mask: (0..n).map(|i| i % 2 == 0).collect(),
+            room_diagonal: 10.0,
+        };
+        let mut config = RoomConfig::new(n, scene, vec![0]);
+        config.prune_k = Some(4);
+        config.top_k = 3;
+        let mut r = Room::new(config, None);
+        let d = r.process(0, frame(n, 7));
+        assert_eq!(d.level, ServeLevel::Full);
+        let recommended: Vec<usize> = (0..n).filter(|&w| d.per_viewer[0][w]).collect();
+        assert!(recommended.len() <= 3);
+        // every recommendation comes from the 4-member shortlist
+        let view = r.engine().view(0, 0);
+        let cs = view.candidates().expect("pruned engine exposes shortlists");
+        for w in recommended {
+            assert!(cs.contains(w), "recommended user {w} outside the shortlist");
+        }
+    }
+
+    #[test]
+    fn pruned_f32_rung_matches_the_dense_f32_rung_at_full_k() {
+        let n = 10;
+        let scene = SceneConfig {
+            body_radius: 0.25,
+            mr_mask: (0..n).map(|i| i % 2 == 0).collect(),
+            room_diagonal: 10.0,
+        };
+        let mut dense = Room::new(RoomConfig::new(n, scene.clone(), vec![0, 1]), None);
+        let mut config = RoomConfig::new(n, scene, vec![0, 1]);
+        config.prune_k = Some(n - 1);
+        let mut pruned = Room::new(config, None);
+        // force both rooms onto the f32 rung without the wall-clock policy
+        dense.level = ServeLevel::ServeF32;
+        pruned.level = ServeLevel::ServeF32;
+        for i in 0..4 {
+            let f = frame(n, 40 + i);
+            let d_dense = dense.process(i, f.clone());
+            let d_pruned = pruned.process(i, f);
+            assert_eq!(d_dense.level, ServeLevel::ServeF32);
+            assert_eq!(d_pruned.per_viewer, d_dense.per_viewer, "frame {i}");
+        }
     }
 
     #[test]

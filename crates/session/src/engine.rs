@@ -72,8 +72,34 @@
 //!   machinery and takes the from-scratch build: it would re-decide nearly
 //!   everything anyway. The crossover is a pure cost heuristic — both
 //!   builds are bit-identical, so it is invisible to readers and oracles.
+//!
+//! ## Crowd-scale pruned mode (`AFTER_PRUNE_K`)
+//!
+//! With `AFTER_PRUNE_K=K > 0` (or [`SceneEngine::set_prune_k`]) the engine
+//! stops materializing dense per-tick structure entirely — no `n×n`
+//! distance matrix, no `n`-node occlusion graphs, no `n`-length masks — and
+//! instead builds one [`CandidateSet`] shortlist per registered viewer from
+//! a per-tick two-level [`PruneIndex`]: the K nearest other users by
+//! `(distance, id)`, with exact member distances, restricted occlusion
+//! edges, and mask bits. Per-viewer work drops from O(N log N + pairs) to
+//! O(K log K + restricted pairs), which is what admits venue-scale scenes
+//! (N=10k–100k). The contract (see [`crate::prune`]): member-level
+//! quantities are *bitwise equal* to the full path's — distances by the
+//! IEEE argument above, edges because each shortlist pair is decided by the
+//! same exact predicate, mask bits by the nearer-occluder closure of the
+//! `(distance, id)` selection order — so `K ≥ N−1` reproduces the full path
+//! bit for bit (pinned by the `xr_check` `PrunedVsFull` subject), and
+//! `AFTER_PRUNE_K=0` (the default) preserves the exact full-N behavior as
+//! the differential oracle. Pruned states compose with the incremental
+//! path: on a coherent tick a stationary viewer whose shortlist membership
+//! and members all stood still carries its previous `Arc<CandidateSet>`
+//! forward by pointer; [`SceneState::into_parts`] densifies a pruned state
+//! on demand so batch consumers (context assembly, replay) stay
+//! payload-agnostic.
 
 use std::sync::Arc;
+
+use crate::prune::{CandidateSet, PruneIndex};
 
 use xr_datasets::Scenario;
 use xr_graph::geom::Point2;
@@ -123,6 +149,34 @@ impl SceneConfig {
     }
 }
 
+/// The per-tick structure a [`SceneState`] holds: dense full-scene state,
+/// or per-viewer K-candidate shortlists when pruning is on.
+#[derive(Debug, Clone)]
+enum StatePayload {
+    /// The full-N path: dense distance matrix plus per-slot occlusion
+    /// graphs and masks.
+    Full {
+        /// Flat row-major `n×n` symmetric distance matrix.
+        distances: Vec<f64>,
+        /// Static occlusion graph per *registered viewer* (slot order).
+        /// `Arc`-shared so the incremental path can carry an unchanged
+        /// graph into the next tick's state for a pointer bump instead of
+        /// an O(n + m) rebuild-or-clone; readers only ever see `&UGraph`.
+        occlusion: Vec<Arc<UGraph>>,
+        /// Hybrid-participation candidate mask per registered viewer.
+        candidate_mask: Vec<Vec<bool>>,
+    },
+    /// The crowd-scale path (`AFTER_PRUNE_K > 0`): one shortlist per
+    /// registered viewer, nothing dense. `Arc`-shared so the incremental
+    /// path can carry an unchanged shortlist forward by pointer.
+    Pruned {
+        /// The effective shortlist size (already clamped to `n − 1`).
+        k: usize,
+        /// Per-slot candidate shortlists.
+        shortlists: Vec<Arc<CandidateSet>>,
+    },
+}
+
 /// Shared scene state for one tick: everything per-target code consults,
 /// computed once for the whole scene. Owned by the [`SceneEngine`]; borrowed
 /// read-only through [`TargetView`].
@@ -131,15 +185,7 @@ pub struct SceneState {
     n: usize,
     /// Positions at this tick.
     positions: Vec<Point2>,
-    /// Flat row-major `n×n` symmetric distance matrix.
-    distances: Vec<f64>,
-    /// Static occlusion graph per *registered viewer* (slot order).
-    /// `Arc`-shared so the incremental path can carry an unchanged graph
-    /// into the next tick's state for a pointer bump instead of an O(n + m)
-    /// rebuild-or-clone; readers only ever see `&UGraph`.
-    occlusion: Vec<Arc<UGraph>>,
-    /// Hybrid-participation candidate mask per registered viewer.
-    candidate_mask: Vec<Vec<bool>>,
+    payload: StatePayload,
 }
 
 impl SceneState {
@@ -148,14 +194,61 @@ impl SceneState {
         &self.positions
     }
 
-    /// Distance between users `i` and `j` (symmetric, bit-exact).
+    /// Distance between users `i` and `j` (symmetric, bit-exact). In pruned
+    /// mode the pair is re-measured from positions — [`Point2::distance`]
+    /// is bit-identical either direction, so the value matches the dense
+    /// matrix entry the full path would hold.
     pub fn distance(&self, i: usize, j: usize) -> f64 {
-        self.distances[i * self.n + j]
+        match &self.payload {
+            StatePayload::Full { distances, .. } => distances[i * self.n + j],
+            StatePayload::Pruned { .. } => {
+                if i == j {
+                    0.0
+                } else {
+                    let (a, b) = (i.min(j), i.max(j));
+                    self.positions[a].distance(self.positions[b])
+                }
+            }
+        }
     }
 
     /// The full distance row of user `v` (length `n`, `0.0` at `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in pruned mode (`AFTER_PRUNE_K > 0`): dense rows are never
+    /// materialized there — read [`SceneState::candidates`] (member
+    /// distances) or [`SceneState::distance`] (a single exact pair).
     pub fn distance_row(&self, v: usize) -> &[f64] {
-        &self.distances[v * self.n..(v + 1) * self.n]
+        match &self.payload {
+            StatePayload::Full { distances, .. } => &distances[v * self.n..(v + 1) * self.n],
+            StatePayload::Pruned { .. } => {
+                panic!("dense distance rows are not materialized in pruned mode (AFTER_PRUNE_K > 0)")
+            }
+        }
+    }
+
+    /// Whether this state holds pruned per-viewer shortlists instead of
+    /// dense full-scene structure.
+    pub fn is_pruned(&self) -> bool {
+        matches!(self.payload, StatePayload::Pruned { .. })
+    }
+
+    /// The effective shortlist size of a pruned state (0 in full mode).
+    pub fn prune_k(&self) -> usize {
+        match &self.payload {
+            StatePayload::Full { .. } => 0,
+            StatePayload::Pruned { k, .. } => *k,
+        }
+    }
+
+    /// The candidate shortlist of the viewer in `slot` (slot order = the
+    /// engine's registered-viewer order); `None` in full mode.
+    pub fn candidates(&self, slot: usize) -> Option<&CandidateSet> {
+        match &self.payload {
+            StatePayload::Full { .. } => None,
+            StatePayload::Pruned { shortlists, .. } => Some(&shortlists[slot]),
+        }
     }
 
     /// Tears the state into its owned parts — positions, the flat `n×n`
@@ -163,16 +256,46 @@ impl SceneState {
     /// masks (slot order = the engine's registered-viewer order). Lets batch
     /// consumers take ownership of the heavy per-viewer structures instead
     /// of cloning them.
+    ///
+    /// A pruned state is *densified* here — the single materialization
+    /// point that keeps batch consumers payload-agnostic: the distance
+    /// matrix is re-measured (bit-identical by the IEEE argument), each
+    /// shortlist's restricted edges become an `n`-node [`UGraph`], and the
+    /// dense mask carries each member's bit with every non-member `false`.
+    /// At a complete shortlist (`K ≥ n−1`) the result is bitwise equal to
+    /// the full path's parts; at serving K the mask *is* the candidate-set
+    /// contract — users outside the shortlist are not candidates.
     pub fn into_parts(self) -> (Vec<Point2>, Vec<f64>, Vec<UGraph>, Vec<Vec<bool>>) {
-        let occlusion = self
-            .occlusion
-            .into_iter()
-            // a graph still shared with a retained neighbor tick (the
-            // incremental path reuses unchanged graphs by pointer) has to be
-            // cloned out; a uniquely held one is moved for free
-            .map(|g| Arc::try_unwrap(g).unwrap_or_else(|shared| (*shared).clone()))
-            .collect();
-        (self.positions, self.distances, occlusion, self.candidate_mask)
+        let n = self.n;
+        match self.payload {
+            StatePayload::Full { distances, occlusion, candidate_mask } => {
+                let occlusion = occlusion
+                    .into_iter()
+                    // a graph still shared with a retained neighbor tick
+                    // (the incremental path reuses unchanged graphs by
+                    // pointer) has to be cloned out; a uniquely held one is
+                    // moved for free
+                    .map(|g| Arc::try_unwrap(g).unwrap_or_else(|shared| (*shared).clone()))
+                    .collect();
+                (self.positions, distances, occlusion, candidate_mask)
+            }
+            StatePayload::Pruned { shortlists, .. } => {
+                let distances = pairwise_distances(&self.positions);
+                let mut occlusion = Vec::with_capacity(shortlists.len());
+                let mut masks = Vec::with_capacity(shortlists.len());
+                for cs in &shortlists {
+                    let edges: Vec<(usize, usize)> =
+                        cs.edges().iter().map(|&(a, b)| (a as usize, b as usize)).collect();
+                    occlusion.push(UGraph::from_sorted_unique_edges(n, edges));
+                    let mut dense = vec![false; n];
+                    for (idx, &id) in cs.ids().iter().enumerate() {
+                        dense[id as usize] = cs.mask()[idx];
+                    }
+                    masks.push(dense);
+                }
+                (self.positions, distances, occlusion, masks)
+            }
+        }
     }
 }
 
@@ -198,18 +321,50 @@ impl<'a> TargetView<'a> {
     }
 
     /// The viewer's distance row.
+    ///
+    /// # Panics
+    ///
+    /// Panics in pruned mode — read [`TargetView::candidates`] instead.
     pub fn distances(&self) -> &'a [f64] {
         self.state.distance_row(self.viewer)
     }
 
     /// The viewer's static occlusion graph `O_t^v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in pruned mode — read [`TargetView::candidates`] instead.
     pub fn occlusion(&self) -> &'a UGraph {
-        &self.state.occlusion[self.slot]
+        match &self.state.payload {
+            StatePayload::Full { occlusion, .. } => &occlusion[self.slot],
+            StatePayload::Pruned { .. } => {
+                panic!("dense occlusion graphs are not materialized in pruned mode (AFTER_PRUNE_K > 0)")
+            }
+        }
     }
 
     /// The viewer's hybrid-participation candidate mask `m_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in pruned mode — read [`TargetView::candidates`] instead.
     pub fn candidate_mask(&self) -> &'a [bool] {
-        &self.state.candidate_mask[self.slot]
+        match &self.state.payload {
+            StatePayload::Full { candidate_mask, .. } => &candidate_mask[self.slot],
+            StatePayload::Pruned { .. } => {
+                panic!("dense candidate masks are not materialized in pruned mode (AFTER_PRUNE_K > 0)")
+            }
+        }
+    }
+
+    /// The viewer's candidate shortlist; `None` in full mode.
+    pub fn candidates(&self) -> Option<&'a CandidateSet> {
+        self.state.candidates(self.slot)
+    }
+
+    /// Whether this view comes from a pruned state.
+    pub fn is_pruned(&self) -> bool {
+        self.state.is_pruned()
     }
 }
 
@@ -223,6 +378,50 @@ struct WarmViewer {
     arcs: Vec<ViewArc>,
     /// Index of each user in `order`; `u32::MAX` when the user has no arc.
     pos: Vec<u32>,
+}
+
+/// An epoch-stamped sparse membership set over user ids, reused across
+/// viewers and ticks without ever being cleared: `begin` bumps the epoch
+/// (O(1) — stale stamps from earlier viewers become non-members for free),
+/// `insert` stamps an id and records it, and consumers iterate the recorded
+/// ids only. Replaces the per-viewer O(N) clear-and-resize bitset the mask
+/// patcher used to rebuild on every churn tick.
+#[derive(Debug, Clone, Default)]
+struct AffectedSet {
+    /// `stamps[i] == epoch` ⇔ user `i` is a member of the current set.
+    stamps: Vec<u32>,
+    epoch: u32,
+    /// Members of the current set, insertion-ordered, duplicate-free.
+    ids: Vec<usize>,
+}
+
+impl AffectedSet {
+    /// Starts a fresh empty set over `n` users without touching old stamps.
+    fn begin(&mut self, n: usize) {
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.ids.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // epoch wrapped: old stamps could alias the new epoch, so pay
+            // one full clear every 2³² sets
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    fn insert(&mut self, i: usize) {
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.ids.push(i);
+        }
+    }
+
+    /// Current members, insertion-ordered.
+    fn ids(&self) -> &[usize] {
+        &self.ids
+    }
 }
 
 /// Reusable buffers for the incremental push path, kept on the engine so a
@@ -240,7 +439,7 @@ struct IncrScratch {
     /// Users whose candidate-mask entry must be re-derived for the current
     /// viewer: moved users plus endpoints of every changed (added or
     /// dropped) occlusion edge. Everyone else keeps the previous bit.
-    affected: Vec<bool>,
+    affected: AffectedSet,
 }
 
 /// The streaming scene engine: feed it one [`Frame`] per tick, read shared
@@ -271,6 +470,11 @@ pub struct SceneEngine {
     incremental: bool,
     /// Snap radius for the shared ingest semantics (`AFTER_SNAP_EPS`).
     snap_epsilon: f64,
+    /// Shortlist size for the crowd-scale pruned mode; 0 (the default /
+    /// `AFTER_PRUNE_K=0`) keeps the exact full-N path.
+    prune_k: usize,
+    /// K-nearest query scratch for the pruned path.
+    nearest_buf: Vec<(f64, u32)>,
     /// Warm sweep state per slot; meaningful only while `warm_tick` is the
     /// previous tick.
     warm: Vec<WarmViewer>,
@@ -312,6 +516,8 @@ impl SceneEngine {
             slo: xr_obs::SloTracker::from_env("session.tick"),
             incremental: crate::incremental_enabled(),
             snap_epsilon: snap_epsilon_from_env(),
+            prune_k: crate::prune_k_from_env(),
+            nearest_buf: Vec::new(),
             warm,
             warm_tick: None,
             scratch: IncrScratch::default(),
@@ -429,6 +635,24 @@ impl SceneEngine {
         self.snap_epsilon
     }
 
+    /// Sets the crowd-scale shortlist size, overriding the `AFTER_PRUNE_K`
+    /// default: `k > 0` makes every subsequent tick build per-viewer
+    /// K-candidate shortlists instead of dense full-scene state, `0`
+    /// restores the exact full-N path (the differential oracle). Safe to
+    /// switch mid-session — changing the value invalidates the warm caches,
+    /// so the next push rebuilds from scratch in the new mode.
+    pub fn set_prune_k(&mut self, k: usize) {
+        if k != self.prune_k {
+            self.warm_tick = None;
+        }
+        self.prune_k = k;
+    }
+
+    /// The active shortlist size (0 = full-N mode).
+    pub fn prune_k(&self) -> usize {
+        self.prune_k
+    }
+
     /// Ingests one frame, computing the tick's shared [`SceneState`].
     /// Returns the tick index the frame landed on.
     ///
@@ -480,7 +704,9 @@ impl SceneEngine {
         let warm_valid = t > 0 && self.warm_tick == Some(t - 1) && !self.states.is_empty();
         let low_coherence = moved_ids.len() * 2 > self.n;
         let mut pair_tests = 0u64;
-        let state = if self.incremental && warm_valid && !low_coherence {
+        let state = if self.prune_k > 0 {
+            self.build_state_pruned(positions, &moved_mask, &moved_ids, warm_valid, &mut pair_tests)
+        } else if self.incremental && warm_valid && !low_coherence {
             xr_obs::counter_add("session.incremental.ticks", &[], 1);
             xr_obs::counter_add("session.incremental.moved", &[], moved_ids.len() as u64);
             self.build_state_incremental(positions, &moved_mask, &moved_ids, &mut pair_tests)
@@ -539,7 +765,88 @@ impl SceneEngine {
             candidate_mask.push(mask);
         }
         self.warm = warm;
-        SceneState { n: self.n, positions, distances, occlusion, candidate_mask }
+        SceneState {
+            n: self.n,
+            positions,
+            payload: StatePayload::Full { distances, occlusion, candidate_mask },
+        }
+    }
+
+    /// Crowd-scale tick build (`prune_k > 0`): one two-level spatial index
+    /// over the frame, then one K-candidate shortlist per registered viewer
+    /// — O(N) scene maintenance plus O(K log K + restricted pairs) per
+    /// viewer, with no dense structure anywhere. Composes with the
+    /// incremental path: when the previous tick is a retained pruned state
+    /// of the same K, a stationary viewer whose shortlist membership and
+    /// members all stood still carries its previous `Arc<CandidateSet>`
+    /// forward by pointer (distances, edges, and mask bits are functions of
+    /// bit-identical positions, so reuse is bitwise-invisible).
+    fn build_state_pruned(
+        &mut self,
+        positions: Vec<Point2>,
+        moved_mask: &[bool],
+        moved_ids: &[usize],
+        warm_valid: bool,
+        pair_tests: &mut u64,
+    ) -> SceneState {
+        let n = self.n;
+        let k = self.prune_k.min(n.saturating_sub(1));
+        xr_obs::counter_add("session.prune.ticks", &[], 1);
+        // Arc handles to the previous tick's shortlists, when they are
+        // reusable (retained pruned state of the same K on the delta path)
+        let prev_pruned: Option<Vec<Arc<CandidateSet>>> =
+            self.states.last().filter(|_| warm_valid && self.incremental).and_then(|s| match &s.payload {
+                StatePayload::Pruned { k: pk, shortlists } if *pk == k => Some(shortlists.clone()),
+                _ => None,
+            });
+
+        // nothing moved: every shortlist is a pure function of bit-identical
+        // positions — carry the whole tick forward by pointer
+        if let Some(shortlists) = &prev_pruned {
+            if moved_ids.is_empty() {
+                let shortlists = shortlists.clone();
+                xr_obs::counter_add("session.prune.shortlists_reused", &[], shortlists.len() as u64);
+                return SceneState { n, positions, payload: StatePayload::Pruned { k, shortlists } };
+            }
+        }
+
+        let index = PruneIndex::build(&positions);
+        let mut nearest = std::mem::take(&mut self.nearest_buf);
+        let mut shortlists = Vec::with_capacity(self.viewers.len());
+        let mut reused = 0u64;
+        for (slot, &v) in self.viewers.iter().enumerate() {
+            index.nearest_k_into(&positions, v, k, &mut nearest);
+            // members in ascending-id order, distances carried along
+            nearest.sort_unstable_by_key(|&(_, w)| w);
+            let prev_cs = prev_pruned.as_ref().map(|s| &s[slot]);
+            // pointer reuse: viewer still, same membership, members still ⇒
+            // every stored quantity is a function of unchanged positions
+            let reusable = prev_cs.is_some_and(|cs| {
+                !moved_mask[v]
+                    && cs.ids().len() == nearest.len()
+                    && cs.ids().iter().zip(nearest.iter()).all(|(&a, &(_, b))| a == b)
+                    && nearest.iter().all(|&(_, w)| !moved_mask[w as usize])
+            });
+            if reusable {
+                shortlists.push(Arc::clone(prev_cs.unwrap()));
+                reused += 1;
+                continue;
+            }
+            let cs = build_candidate_set(
+                v,
+                k,
+                &positions,
+                &self.converter,
+                &self.config.mr_mask,
+                &nearest,
+                pair_tests,
+            );
+            shortlists.push(Arc::new(cs));
+        }
+        xr_obs::counter_add("session.prune.shortlists_reused", &[], reused);
+        nearest.clear();
+        self.nearest_buf = nearest;
+        SceneState { n, positions, payload: StatePayload::Pruned { k, shortlists } }
     }
 
     /// Incremental tick build: O(Δ) in the number of moved users. Distances
@@ -559,6 +866,16 @@ impl SceneEngine {
         let mut warm = std::mem::take(&mut self.warm);
         let mut scratch = std::mem::take(&mut self.scratch);
         let prev = self.states.last().expect("incremental push needs a retained previous state");
+        let (prev_distances, prev_occlusion, prev_mask) = match &prev.payload {
+            StatePayload::Full { distances, occlusion, candidate_mask } => {
+                (distances, occlusion, candidate_mask)
+            }
+            // switching out of pruned mode invalidates `warm_tick`, so the
+            // delta path can never land on a pruned predecessor
+            StatePayload::Pruned { .. } => {
+                unreachable!("the incremental full path never follows a pruned state")
+            }
+        };
 
         // nothing moved (every position snapped or stood still): the whole
         // previous state is bit-identical, and the warm caches stay valid
@@ -566,9 +883,11 @@ impl SceneEngine {
             let state = SceneState {
                 n,
                 positions,
-                distances: prev.distances.clone(),
-                occlusion: prev.occlusion.clone(),
-                candidate_mask: prev.candidate_mask.clone(),
+                payload: StatePayload::Full {
+                    distances: prev_distances.clone(),
+                    occlusion: prev_occlusion.clone(),
+                    candidate_mask: prev_mask.clone(),
+                },
             };
             self.warm = warm;
             self.scratch = scratch;
@@ -578,7 +897,7 @@ impl SceneEngine {
         // stationary pairs keep their previous (bit-identical) distance;
         // moved rows re-measure each unordered pair in (min, max) endpoint
         // order — the from-scratch convention — and mirror
-        let mut distances = prev.distances.clone();
+        let mut distances = prev_distances.clone();
         for &i in moved_ids {
             for j in 0..n {
                 if j != i {
@@ -616,7 +935,7 @@ impl SceneEngine {
                     v,
                     &positions,
                     &self.converter,
-                    &prev.occlusion[slot],
+                    &prev_occlusion[slot],
                     &mut warm[slot],
                     moved_mask,
                     moved_ids,
@@ -624,13 +943,13 @@ impl SceneEngine {
                     pair_tests,
                 ) {
                     Some(g) => Arc::new(g),
-                    None => Arc::clone(&prev.occlusion[slot]),
+                    None => Arc::clone(&prev_occlusion[slot]),
                 };
                 // `warm_delta_update` left the viewer's affected set in
                 // `scratch.affected`; everyone outside it keeps the
                 // previous mask bit verbatim
                 let mask = mask_delta_update(
-                    &prev.candidate_mask[slot],
+                    &prev_mask[slot],
                     v,
                     self.config.mr_mask[v],
                     &distances[row_range],
@@ -646,7 +965,7 @@ impl SceneEngine {
         xr_obs::counter_add("session.incremental.viewers_rebuilt", &[], rebuilt);
         self.warm = warm;
         self.scratch = scratch;
-        SceneState { n, positions, distances, occlusion, candidate_mask }
+        SceneState { n, positions, payload: StatePayload::Full { distances, occlusion, candidate_mask } }
     }
 
     /// Convenience: pushes every tick of a scenario's trajectory.
@@ -743,9 +1062,17 @@ fn sorted_arc_order(arcs: &[Option<ViewArc>], order: &mut Vec<usize>, sorted: &m
 /// The sweep proper, over a pre-sorted arc array (see
 /// [`sweep_occlusion_graph`] for the semantics and pruning argument).
 fn sweep_edges_from_sorted(n: usize, order: &[usize], sorted: &[ViewArc], pair_tests: &mut u64) -> UGraph {
+    UGraph::from_sorted_unique_edges(n, sweep_edge_list(order, sorted, pair_tests))
+}
+
+/// The sweep's edge enumeration, shared by the graph builder above and the
+/// pruned path's restricted sweep (which runs it over shortlist-local
+/// indices): sorted unique `(min, max)` pairs, every one decided by the
+/// exact predicate.
+fn sweep_edge_list(order: &[usize], sorted: &[ViewArc], pair_tests: &mut u64) -> Vec<(usize, usize)> {
     let m = order.len();
     if m < 2 {
-        return UGraph::new(n);
+        return Vec::new();
     }
     let max_half_width = sorted.iter().map(|a| a.half_width).fold(f64::NEG_INFINITY, f64::max);
 
@@ -790,7 +1117,66 @@ fn sweep_edges_from_sorted(n: usize, order: &[usize], sorted: &[ViewArc], pair_t
     // scans; sorted dedup reproduces the brute-force i<j insertion order
     edges.sort_unstable();
     edges.dedup();
-    UGraph::from_sorted_unique_edges(n, edges)
+    edges
+}
+
+/// Builds one viewer's [`CandidateSet`] over its K-nearest members
+/// (`members` = `(distance, id)` pairs in ascending-id order): arcs are
+/// re-derived per member with the same converter call as the full path, the
+/// restricted occlusion edges come from the same angular sweep over
+/// shortlist-local indices, and mask bits apply the `mask_entry` rule over
+/// those edges. The `(distance, id)` selection order makes every strictly
+/// nearer user of a member also a member (nearer-occluder closure), so the
+/// member bits are bitwise equal to the full-scene mask.
+fn build_candidate_set(
+    viewer: usize,
+    k: usize,
+    positions: &[Point2],
+    converter: &OcclusionConverter,
+    mr_mask: &[bool],
+    members: &[(f64, u32)],
+    pair_tests: &mut u64,
+) -> CandidateSet {
+    let len = members.len();
+    let ids: Vec<u32> = members.iter().map(|&(_, w)| w).collect();
+    let dists: Vec<f64> = members.iter().map(|&(d, _)| d).collect();
+
+    // restricted sweep over local member indices: the edge set it yields is
+    // the full edge set ∩ members×members, because each surviving pair is
+    // decided by the exact predicate and the pruning bound stays
+    // conservative on any subset (a subset's max_half_width only shrinks)
+    let arcs: Vec<Option<ViewArc>> =
+        ids.iter().map(|&w| converter.arc(positions[viewer], positions[w as usize])).collect();
+    let mut order = Vec::new();
+    let mut sorted = Vec::new();
+    sorted_arc_order(&arcs, &mut order, &mut sorted);
+    let local_edges = sweep_edge_list(&order, &sorted, pair_tests);
+
+    let mut mask = vec![true; len];
+    if mr_mask[viewer] {
+        // the `mask_entry` rule restricted to members: coincident users are
+        // pruned, and a strictly nearer MR member in an overlapping arc
+        // prunes its partner (the viewer itself is never a member, so the
+        // `u != viewer` guard is implicit)
+        for idx in 0..len {
+            if dists[idx] < 1e-9 {
+                mask[idx] = false;
+            }
+        }
+        for &(a, b) in &local_edges {
+            if mr_mask[ids[a] as usize] && dists[a] < dists[b] {
+                mask[b] = false;
+            }
+            if mr_mask[ids[b] as usize] && dists[b] < dists[a] {
+                mask[a] = false;
+            }
+        }
+    }
+
+    // ascending local indices map monotonically to ascending global ids, so
+    // the sorted-unique property carries over
+    let edges: Vec<(u32, u32)> = local_edges.into_iter().map(|(a, b)| (ids[a], ids[b])).collect();
+    CandidateSet::new(viewer, k, ids, dists, mask, edges)
 }
 
 /// Full sweep that also (re)warms one viewer's cache with the sorted arc
@@ -844,12 +1230,12 @@ fn warm_delta_update(
 
     // who can change a candidate-mask bit for this viewer: moved users, plus
     // endpoints of every changed (added or dropped) edge — filled as the
-    // delta is decided below and consumed by `mask_delta_update`
+    // delta is decided below and consumed by `mask_delta_update`. The
+    // epoch-stamped set makes this O(|affected|) per viewer, not O(N).
     let affected = &mut scratch.affected;
-    affected.clear();
-    affected.resize(n, false);
+    affected.begin(n);
     for &w in moved_ids {
-        affected[w] = true;
+        affected.insert(w);
     }
 
     let incoming = &mut scratch.incoming;
@@ -980,15 +1366,15 @@ fn warm_delta_update(
     edges_new.sort_unstable();
     edges_new.dedup();
     for &(a, b) in edges_new.iter() {
-        affected[a] = true;
-        affected[b] = true;
+        affected.insert(a);
+        affected.insert(b);
     }
     // endpoints of dropped previous edges (any edge touching a mover was
     // discarded and re-decided; if it did not come back it changed)
     for (a, b) in prev_graph.edges() {
         if moved_mask[a] || moved_mask[b] {
-            affected[a] = true;
-            affected[b] = true;
+            affected.insert(a);
+            affected.insert(b);
         }
     }
 
@@ -1088,15 +1474,16 @@ fn mask_delta_update(
     distances: &[f64],
     occlusion: &UGraph,
     mr_mask: &[bool],
-    affected: &[bool],
+    affected: &AffectedSet,
 ) -> Vec<bool> {
     let mut mask = prev_mask.to_vec();
     if !viewer_is_mr {
         // non-MR viewers have a tick-invariant mask (all true bar themselves)
         return mask;
     }
-    for w in 0..mask.len() {
-        if w != viewer && affected[w] {
+    // iterate the recorded affected ids only — O(|affected|), not O(N)
+    for &w in affected.ids() {
+        if w != viewer {
             mask[w] = mask_entry(viewer, distances, occlusion, mr_mask, w);
         }
     }
@@ -1281,10 +1668,18 @@ mod tests {
             for f in &frames[..=t] {
                 fresh.push(Frame::new(f.clone()));
             }
-            let (a, b) = (incremental.state(t), fresh.state(t));
-            assert_eq!(a.distances, b.distances, "t={t}");
-            assert_eq!(a.occlusion, b.occlusion, "t={t}");
-            assert_eq!(a.candidate_mask, b.candidate_mask, "t={t}");
+            assert_states_bitwise_equal(incremental.state(t), fresh.state(t), &format!("t={t}"));
+        }
+    }
+
+    /// The dense parts of a full-mode state (tests only ever unpack full
+    /// states through this; pruned states have their own assertions).
+    fn full_parts(s: &SceneState) -> (&Vec<f64>, &Vec<Arc<UGraph>>, &Vec<Vec<bool>>) {
+        match &s.payload {
+            StatePayload::Full { distances, occlusion, candidate_mask } => {
+                (distances, occlusion, candidate_mask)
+            }
+            StatePayload::Pruned { .. } => panic!("expected a full-mode state"),
         }
     }
 
@@ -1318,11 +1713,13 @@ mod tests {
 
     fn assert_states_bitwise_equal(a: &SceneState, b: &SceneState, ctx: &str) {
         assert_eq!(a.positions, b.positions, "{ctx}: positions");
-        let da: Vec<u64> = a.distances.iter().map(|d| d.to_bits()).collect();
-        let db: Vec<u64> = b.distances.iter().map(|d| d.to_bits()).collect();
+        let (ad, ao, am) = full_parts(a);
+        let (bd, bo, bm) = full_parts(b);
+        let da: Vec<u64> = ad.iter().map(|d| d.to_bits()).collect();
+        let db: Vec<u64> = bd.iter().map(|d| d.to_bits()).collect();
         assert_eq!(da, db, "{ctx}: distance bits");
-        assert_eq!(a.occlusion, b.occlusion, "{ctx}: occlusion (UGraph Eq)");
-        assert_eq!(a.candidate_mask, b.candidate_mask, "{ctx}: candidate masks");
+        assert_eq!(ao, bo, "{ctx}: occlusion (UGraph Eq)");
+        assert_eq!(am, bm, "{ctx}: candidate masks");
     }
 
     #[test]
@@ -1464,7 +1861,7 @@ mod tests {
         for t in 7..10 {
             // retained states are addressed by their original tick index and
             // identical to the unbounded engine's
-            assert_eq!(bounded.state(t).distances, unbounded.state(t).distances, "t={t}");
+            assert_eq!(full_parts(bounded.state(t)).0, full_parts(unbounded.state(t)).0, "t={t}");
             assert_eq!(bounded.view(0, t).candidate_mask(), unbounded.view(0, t).candidate_mask());
         }
         assert_eq!(bounded.latest_state().unwrap().positions(), unbounded.state(9).positions());
@@ -1529,5 +1926,189 @@ mod tests {
     fn wrong_frame_width_panics() {
         let mut engine = engine_for(4, 2, 0.2);
         engine.push(Frame::new(random_positions(5, 5.0, 1)));
+    }
+
+    #[test]
+    fn pruned_at_full_k_densifies_bitwise_identical_to_the_full_path() {
+        // K ≥ n−1 makes every shortlist complete, so into_parts of the
+        // pruned state must reproduce the full path's parts bit for bit —
+        // the heart of the AFTER_PRUNE_K=0 oracle contract
+        for seed in 0..6u64 {
+            let n = 8 + (seed as usize % 10);
+            let frames = coherent_frames(n, 6, 5.0, 0.4, 0.1, 500 + seed);
+            let mut full = engine_for(n, 2, 0.25);
+            full.set_prune_k(0);
+            let mut pruned = engine_for(n, 2, 0.25);
+            pruned.set_prune_k(n - 1);
+            for f in &frames {
+                full.push(Frame::new(f.clone()));
+                pruned.push(Frame::new(f.clone()));
+            }
+            for t in 0..frames.len() {
+                assert!(pruned.state(t).is_pruned());
+                let (fp, fd, fo, fm) = full.state(t).clone().into_parts();
+                let (pp, pd, po, pm) = pruned.state(t).clone().into_parts();
+                assert_eq!(fp, pp, "seed {seed} t={t}: positions");
+                let fb: Vec<u64> = fd.iter().map(|d| d.to_bits()).collect();
+                let pb: Vec<u64> = pd.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(fb, pb, "seed {seed} t={t}: distance bits");
+                assert_eq!(fo, po, "seed {seed} t={t}: occlusion graphs");
+                assert_eq!(fm, pm, "seed {seed} t={t}: masks");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_member_quantities_match_the_full_scene_at_serving_k() {
+        // at a small serving K the member-level contract still holds: ids
+        // are the brute K nearest by (distance, id), member distances and
+        // mask bits are bitwise equal to the full scene's, and the
+        // restricted edges are the full edge set ∩ members×members
+        for seed in 0..6u64 {
+            let n = 18;
+            let k = 6;
+            let positions = random_positions(n, 5.0, 700 + seed);
+            let mut full = engine_for(n, 2, 0.25);
+            full.set_prune_k(0);
+            full.push(Frame::new(positions.clone()));
+            let mut pruned = engine_for(n, 2, 0.25);
+            pruned.set_prune_k(k);
+            pruned.push(Frame::new(positions.clone()));
+
+            for v in 0..n {
+                let fv = full.view(v, 0);
+                let cs = pruned.view(v, 0).candidates().expect("pruned view");
+                assert_eq!(cs.viewer(), v);
+                // brute-force K nearest by (distance, id)
+                let mut all: Vec<(f64, u32)> = (0..n)
+                    .filter(|&w| w != v)
+                    .map(|w| (positions[v].distance(positions[w]), w as u32))
+                    .collect();
+                all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                all.truncate(k);
+                let mut want: Vec<u32> = all.iter().map(|&(_, w)| w).collect();
+                want.sort_unstable();
+                assert_eq!(cs.ids(), &want[..], "seed {seed} v={v}: membership");
+                for (idx, &w) in cs.ids().iter().enumerate() {
+                    let w = w as usize;
+                    assert_eq!(
+                        cs.distances()[idx].to_bits(),
+                        fv.distances()[w].to_bits(),
+                        "seed {seed} v={v} w={w}: distance"
+                    );
+                    assert_eq!(
+                        cs.mask()[idx],
+                        fv.candidate_mask()[w],
+                        "seed {seed} v={v} w={w}: mask bit (nearer-occluder closure)"
+                    );
+                }
+                let restricted: Vec<(u32, u32)> = fv
+                    .occlusion()
+                    .edges()
+                    .filter(|&(a, b)| cs.contains(a) && cs.contains(b))
+                    .map(|(a, b)| (a as u32, b as u32))
+                    .collect();
+                assert_eq!(cs.edges(), &restricted[..], "seed {seed} v={v}: restricted edges");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_incremental_reuse_matches_per_tick_rebuild() {
+        // the delta path's Arc reuse must be invisible: an incremental
+        // pruned engine and a fresh-per-prefix pruned engine agree exactly
+        let n = 14;
+        let k = 5;
+        let frames = coherent_frames(n, 8, 5.0, 0.25, 0.05, 31);
+        let mut inc = engine_for(n, 3, 0.25);
+        inc.set_prune_k(k);
+        inc.set_incremental(true);
+        let mut scratch = engine_for(n, 3, 0.25);
+        scratch.set_prune_k(k);
+        scratch.set_incremental(false);
+        for f in &frames {
+            inc.push(Frame::new(f.clone()));
+            scratch.push(Frame::new(f.clone()));
+        }
+        for t in 0..frames.len() {
+            for v in 0..n {
+                let a = inc.view(v, t).candidates().unwrap();
+                let b = scratch.view(v, t).candidates().unwrap();
+                assert_eq!(a, b, "t={t} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_static_frames_reuse_shortlists_by_pointer() {
+        let n = 12;
+        let f0 = random_positions(n, 5.0, 91);
+        let mut engine = engine_for(n, 2, 0.25);
+        engine.set_prune_k(4);
+        engine.set_incremental(true);
+        engine.push(Frame::new(f0.clone()));
+        engine.push(Frame::new(f0.clone()));
+        for v in 0..n {
+            let a = engine.view(v, 0).candidates().unwrap() as *const CandidateSet;
+            let b = engine.view(v, 1).candidates().unwrap() as *const CandidateSet;
+            assert_eq!(a, b, "v={v}: static tick must carry the shortlist by pointer");
+        }
+    }
+
+    #[test]
+    fn pruned_state_distance_matches_dense_bitwise() {
+        let n = 10;
+        let positions = random_positions(n, 6.0, 44);
+        let mut engine = engine_for(n, 2, 0.25);
+        engine.set_prune_k(3);
+        engine.push(Frame::new(positions.clone()));
+        let state = engine.state(0);
+        for i in 0..n {
+            for j in 0..n {
+                let want = if i == j { 0.0 } else { positions[i].distance(positions[j]) };
+                assert_eq!(state.distance(i, j).to_bits(), want.to_bits(), "d({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not materialized in pruned mode")]
+    fn pruned_distance_row_panics() {
+        let mut engine = engine_for(6, 2, 0.25);
+        engine.set_prune_k(2);
+        engine.push(Frame::new(random_positions(6, 5.0, 8)));
+        engine.state(0).distance_row(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not materialized in pruned mode")]
+    fn pruned_candidate_mask_panics() {
+        let mut engine = engine_for(6, 2, 0.25);
+        engine.set_prune_k(2);
+        engine.push(Frame::new(random_positions(6, 5.0, 8)));
+        engine.view(0, 0).candidate_mask();
+    }
+
+    #[test]
+    fn toggling_prune_k_mid_session_rebuilds_cleanly() {
+        // pruned → full must not leave stale warm caches behind: the full
+        // ticks after the switch still match a from-scratch oracle
+        let n = 12;
+        let frames = coherent_frames(n, 9, 5.0, 0.3, 0.1, 77);
+        let mut toggled = engine_for(n, 2, 0.25);
+        toggled.set_incremental(true);
+        let mut oracle = engine_for(n, 2, 0.25);
+        oracle.set_incremental(false);
+        for (t, f) in frames.iter().enumerate() {
+            toggled.set_prune_k(if (t / 3) % 2 == 0 { 4 } else { 0 });
+            toggled.push(Frame::new(f.clone()));
+            oracle.push(Frame::new(f.clone()));
+        }
+        for (t, _) in frames.iter().enumerate() {
+            if toggled.state(t).is_pruned() {
+                continue;
+            }
+            assert_states_bitwise_equal(toggled.state(t), oracle.state(t), &format!("t={t}"));
+        }
     }
 }

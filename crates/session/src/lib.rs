@@ -24,10 +24,15 @@
 //! derived from them — are structurally identical, not just equivalent.
 
 pub mod engine;
+pub mod prune;
 pub mod serve32;
 
 pub use engine::{Frame, SceneConfig, SceneEngine, SceneState, TargetView};
-pub use serve32::{arc_f32, candidate_mask_f32, distance_row_f32, occlusion_graph_f32, ViewArcF32};
+pub use prune::{CandidateSet, PruneIndex};
+pub use serve32::{
+    arc_f32, candidate_mask_f32, candidate_mask_f32_shortlist, distance_row_f32, occlusion_graph_f32,
+    shortlist_f32, ViewArcF32,
+};
 
 /// Whether context construction should be backed by the streaming
 /// [`SceneEngine`] (the default) or the legacy per-target precompute path.
@@ -47,4 +52,16 @@ pub fn streaming_enabled() -> bool {
 /// matrix. [`SceneEngine::set_incremental`] overrides per engine.
 pub fn incremental_enabled() -> bool {
     std::env::var("AFTER_INCREMENTAL").map(|v| v != "0").unwrap_or(true)
+}
+
+/// The crowd-scale shortlist size from `AFTER_PRUNE_K`: `K > 0` makes every
+/// [`SceneEngine`] build per-viewer K-candidate shortlists (see
+/// [`prune::CandidateSet`]) instead of dense full-scene state; `0` — the
+/// default, and the differential oracle — keeps the exact full-N path.
+/// Member-level quantities are bitwise equal to the full path's, so any
+/// `K ≥ N−1` reproduces it bit for bit (pinned by the `xr_check`
+/// `PrunedVsFull` subject). Unset or unparsable values fall back to `0`.
+/// [`SceneEngine::set_prune_k`] overrides per engine.
+pub fn prune_k_from_env() -> usize {
+    std::env::var("AFTER_PRUNE_K").ok().and_then(|s| s.trim().parse::<usize>().ok()).unwrap_or(0)
 }

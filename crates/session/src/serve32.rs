@@ -178,6 +178,72 @@ pub fn candidate_mask_f32(
     mask
 }
 
+/// The K-nearest shortlist of one viewer from an f32 distance row: member
+/// ids in ascending order, selected by `(distance, id)` — the f32 analogue
+/// of the engine's [`crate::CandidateSet`] membership rule, for the
+/// degraded serving levels that re-derive scene quantities per tick.
+pub fn shortlist_f32(viewer: usize, distances: &[f32], k: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..distances.len() as u32).filter(|&w| w as usize != viewer).collect();
+    if ids.len() > k {
+        ids.select_nth_unstable_by(k, |&a, &b| {
+            distances[a as usize].total_cmp(&distances[b as usize]).then(a.cmp(&b))
+        });
+        ids.truncate(k);
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// f32 candidate-mask bits for the members of a shortlist (parallel to
+/// `ids`): the [`candidate_mask_f32`] pruning rule restricted to shortlist
+/// pairs — O(K²) arc tests instead of the O(N²) full graph. The
+/// `(distance, id)` membership rule gives the same nearer-occluder closure
+/// as the f64 path, so member bits agree with the full-graph mask up to f32
+/// boundary rounding.
+#[allow(clippy::too_many_arguments)]
+pub fn candidate_mask_f32_shortlist(
+    viewer: usize,
+    viewer_is_mr: bool,
+    ids: &[u32],
+    distances: &[f32],
+    xs: &[f32],
+    ys: &[f32],
+    body_radius: f32,
+    mr_mask: &[bool],
+) -> Vec<bool> {
+    let len = ids.len();
+    let mut mask = vec![true; len];
+    if !viewer_is_mr {
+        return mask;
+    }
+    let arcs: Vec<Option<ViewArcF32>> = ids
+        .iter()
+        .map(|&w| arc_f32(xs[viewer], ys[viewer], xs[w as usize], ys[w as usize], body_radius))
+        .collect();
+    for idx in 0..len {
+        if distances[ids[idx] as usize] < 1e-9 {
+            mask[idx] = false;
+        }
+    }
+    for a in 0..len {
+        let Some(aa) = arcs[a] else { continue };
+        for b in (a + 1)..len {
+            let Some(ab) = arcs[b] else { continue };
+            if !aa.intersects(&ab) {
+                continue;
+            }
+            let (da, db) = (distances[ids[a] as usize], distances[ids[b] as usize]);
+            if mr_mask[ids[a] as usize] && da < db {
+                mask[b] = false;
+            }
+            if mr_mask[ids[b] as usize] && db < da {
+                mask[a] = false;
+            }
+        }
+    }
+    mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,5 +349,46 @@ mod tests {
         // non-MR viewer keeps everyone but herself
         let mask_vr = candidate_mask_f32(0, false, &d, &g, &mr);
         assert_eq!(mask_vr, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn shortlist_f32_selects_the_k_nearest_by_distance_then_id() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..40);
+            let d: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..9.0) as f32).collect();
+            let viewer = rng.gen_range(0..n);
+            for k in [1usize, 3, n - 1, n + 2] {
+                let got = shortlist_f32(viewer, &d, k);
+                let mut want: Vec<u32> = (0..n as u32).filter(|&w| w as usize != viewer).collect();
+                want.sort_by(|&a, &b| d[a as usize].total_cmp(&d[b as usize]).then(a.cmp(&b)));
+                want.truncate(k);
+                want.sort_unstable();
+                assert_eq!(got, want, "n={n} k={k} viewer={viewer}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortlist_mask_matches_the_full_f32_mask_on_members() {
+        // complete shortlist (k = n−1): restricted O(K²) mask bits must
+        // equal the full occlusion-graph mask on every member
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..14);
+            let xs: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0..3.0) as f32).collect();
+            let ys: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0..3.0) as f32).collect();
+            let mr: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+            let viewer = 0usize;
+            let g = occlusion_graph_f32(viewer, &xs, &ys, 0.25);
+            let mut d = vec![0.0f32; n];
+            distance_row_f32(xs[viewer], ys[viewer], &xs, &ys, &mut d);
+            let full = candidate_mask_f32(viewer, true, &d, &g, &mr);
+            let ids = shortlist_f32(viewer, &d, n - 1);
+            let restricted = candidate_mask_f32_shortlist(viewer, true, &ids, &d, &xs, &ys, 0.25, &mr);
+            for (idx, &w) in ids.iter().enumerate() {
+                assert_eq!(restricted[idx], full[w as usize], "member {w}");
+            }
+        }
     }
 }

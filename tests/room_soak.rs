@@ -146,6 +146,76 @@ fn run_fixed_workload(workers: usize) -> (Vec<(u64, Vec<Decision>)>, xr_obs::Met
     (streams, snapshot)
 }
 
+/// Runs the stadium workload (one room, N = 10k, pruned K = 64) at the
+/// given worker count under a fresh metrics context.
+fn run_stadium_workload(workers: usize, frames: &[Vec<Point2>]) -> (Vec<Decision>, xr_obs::MetricsSnapshot) {
+    const STADIUM_N: usize = 10_000;
+    let venue = xr_datasets::VenueConfig::stadium(STADIUM_N, 0xCAFE);
+    let scene = SceneConfig {
+        body_radius: venue.body_radius,
+        mr_mask: venue.mr_mask(),
+        room_diagonal: venue.room_diagonal(),
+    };
+    // 32 viewers spread across the bowl
+    let viewers: Vec<usize> = (0..STADIUM_N).step_by(STADIUM_N / 32).take(32).collect();
+    let mut config = RoomConfig::new(STADIUM_N, scene, viewers);
+    config.prune_k = Some(64);
+
+    let ctx = ObsCtx::new(true, false);
+    let _guard = ctx.install();
+    let mut server = RoomServer::new(ServerConfig {
+        max_rooms: 1,
+        workers,
+        slo: None, // p99 is asserted from the histogram, not the ladder
+        ..ServerConfig::default()
+    });
+    let id = server.admit(config).expect("stadium admission");
+    let mut stream = Vec::new();
+    for frame in frames {
+        server.enqueue(id, Frame::new(frame.clone()));
+        for drain in server.pump().rooms {
+            stream.extend(drain.decisions);
+        }
+    }
+    let snapshot = xr_obs::metrics_snapshot().expect("metrics context is installed");
+    assert_eq!(server.stats().enqueued, frames.len() as u64);
+    assert_eq!(server.stats().processed, frames.len() as u64, "stadium room must shed nothing");
+    (stream, snapshot)
+}
+
+#[test]
+fn stadium_room_at_10k_users_serves_pruned_within_budget_and_deterministically() {
+    const ROUNDS: usize = 24;
+    const BUDGET_MS: f64 = 250.0;
+
+    let mut sim = xr_datasets::VenueSim::new(xr_datasets::VenueConfig::stadium(10_000, 0xCAFE));
+    let frames: Vec<Vec<Point2>> = (0..ROUNDS).map(|_| sim.next_frame()).collect();
+
+    let (serial, snap1) = run_stadium_workload(1, &frames);
+    let (threaded, snap8) = run_stadium_workload(8, &frames);
+
+    // exact frame accounting: one decision per frame, in order, at Full level
+    assert_eq!(serial.len(), ROUNDS);
+    for (t, d) in serial.iter().enumerate() {
+        assert_eq!(d.seq, t as u64);
+        assert_eq!(d.level, xr_serve::ServeLevel::Full);
+        assert_eq!(d.per_viewer.len(), 32);
+    }
+    // worker-count determinism on the full decision stream
+    assert_eq!(serial, threaded, "stadium decisions diverged between 1 and 8 workers");
+    let counts = |s: &xr_obs::MetricsSnapshot| {
+        s.histograms.iter().map(|(k, h)| (k.display(), h.count)).collect::<Vec<_>>()
+    };
+    assert_eq!(counts(&snap1), counts(&snap8));
+
+    let tick = snap1.histogram("serve.room.tick.ms").expect("tick histogram exists");
+    assert_eq!(tick.count, ROUNDS as u64);
+    // latency budget only means something on optimized builds
+    if !cfg!(debug_assertions) {
+        assert!(tick.p99 <= BUDGET_MS, "p99 stadium tick {}ms blew the {BUDGET_MS}ms budget", tick.p99);
+    }
+}
+
 #[test]
 fn decision_streams_are_identical_at_one_and_eight_workers() {
     let (serial, snap1) = run_fixed_workload(1);
